@@ -1,0 +1,342 @@
+//! Cluster-Margin sampling (Citovsky et al., NeurIPS 2021) — the prototype's
+//! default active-learning acquisition function.
+//!
+//! Cluster-Margin combines uncertainty and diversity: take the `k_m · B`
+//! unlabeled candidates with the smallest prediction margin (difference
+//! between the top-two class probabilities), group them into clusters in
+//! feature space, and pick candidates round-robin across clusters in
+//! ascending-cluster-size order so no single dense region dominates the
+//! batch. The original paper clusters once with HAC; this implementation
+//! uses a small deterministic k-means over the margin-filtered set, which
+//! serves the same purpose at the candidate-set sizes VOCALExplore works
+//! with (tens to a few hundred vectors per `Explore` call).
+
+use ve_ml::tensor::squared_distance;
+
+/// Configuration for Cluster-Margin.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterMarginConfig {
+    /// Margin-pool multiplier: the `k_m · budget` lowest-margin candidates
+    /// enter the clustering stage (paper uses a pool ~10× the batch).
+    pub margin_pool_multiplier: usize,
+    /// Number of clusters used for the diversity stage, as a multiple of the
+    /// budget (clamped to the pool size).
+    pub clusters_per_budget: usize,
+    /// k-means iterations (small and fixed; exactness is not required).
+    pub kmeans_iters: usize,
+}
+
+impl Default for ClusterMarginConfig {
+    fn default() -> Self {
+        Self {
+            margin_pool_multiplier: 10,
+            clusters_per_budget: 2,
+            kmeans_iters: 10,
+        }
+    }
+}
+
+/// Selects `budget` candidate indices with Cluster-Margin sampling.
+///
+/// * `features` — candidate feature vectors.
+/// * `probs` — per-candidate class-probability vectors from the latest model
+///   (`features.len()` rows). When the model has not been trained yet
+///   (`probs` empty or rows empty), the margin stage degenerates to treating
+///   every candidate as maximally uncertain, leaving a purely
+///   diversity-driven selection.
+///
+/// # Panics
+/// Panics if `probs` is non-empty but has a different length than `features`.
+pub fn cluster_margin_selection(
+    features: &[Vec<f32>],
+    probs: &[Vec<f32>],
+    budget: usize,
+    cfg: &ClusterMarginConfig,
+) -> Vec<usize> {
+    if features.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    if !probs.is_empty() {
+        assert_eq!(
+            probs.len(),
+            features.len(),
+            "probability rows must match candidates"
+        );
+    }
+
+    // Stage 1: margin filtering.
+    let margins: Vec<f64> = (0..features.len())
+        .map(|i| {
+            if probs.is_empty() || probs[i].len() < 2 {
+                0.0 // unknown probabilities -> treat as maximally uncertain
+            } else {
+                margin(&probs[i])
+            }
+        })
+        .collect();
+    let pool_size = (cfg.margin_pool_multiplier.max(1) * budget).min(features.len());
+    let mut order: Vec<usize> = (0..features.len()).collect();
+    order.sort_by(|&a, &b| margins[a].partial_cmp(&margins[b]).expect("NaN margin"));
+    let pool: Vec<usize> = order.into_iter().take(pool_size).collect();
+
+    // Stage 2: cluster the pool for diversity.
+    let k = (cfg.clusters_per_budget.max(1) * budget).min(pool.len()).max(1);
+    let assignments = kmeans_assign(features, &pool, k, cfg.kmeans_iters);
+
+    // Stage 3: round-robin over clusters, ascending by cluster size, picking
+    // the lowest-margin unpicked member of each cluster.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pool_pos, &cand_idx) in pool.iter().enumerate() {
+        clusters[assignments[pool_pos]].push(cand_idx);
+    }
+    for cluster in &mut clusters {
+        cluster.sort_by(|&a, &b| margins[a].partial_cmp(&margins[b]).expect("NaN margin"));
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters.sort_by_key(|c| c.len());
+
+    let mut selected = Vec::with_capacity(budget);
+    let mut cursor = vec![0usize; clusters.len()];
+    while selected.len() < budget.min(pool.len()) {
+        let mut progressed = false;
+        for (ci, cluster) in clusters.iter().enumerate() {
+            if selected.len() >= budget {
+                break;
+            }
+            if cursor[ci] < cluster.len() {
+                selected.push(cluster[cursor[ci]]);
+                cursor[ci] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    selected
+}
+
+/// Margin of a probability vector: difference between its two largest values.
+/// A vector with fewer than two entries is treated as fully confident (its
+/// single probability is the margin).
+fn margin(p: &[f32]) -> f64 {
+    let mut top = f32::NEG_INFINITY;
+    let mut second = 0.0f32;
+    for &v in p {
+        if v > top {
+            second = if top.is_finite() { top } else { 0.0 };
+            top = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if !top.is_finite() {
+        return 0.0;
+    }
+    (top - second).max(0.0) as f64
+}
+
+/// Deterministic k-means over the pooled candidates; returns the cluster
+/// assignment of each pool member. Initial centroids are chosen by a
+/// farthest-point sweep (k-means++ without randomness).
+fn kmeans_assign(
+    features: &[Vec<f32>],
+    pool: &[usize],
+    k: usize,
+    iters: usize,
+) -> Vec<usize> {
+    let k = k.min(pool.len()).max(1);
+    // Farthest-point initialization starting from the pool's first element.
+    let mut centroid_ids = vec![pool[0]];
+    while centroid_ids.len() < k {
+        let next = pool
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let da = centroid_ids
+                    .iter()
+                    .map(|&c| squared_distance(&features[a], &features[c]))
+                    .fold(f32::INFINITY, f32::min);
+                let db = centroid_ids
+                    .iter()
+                    .map(|&c| squared_distance(&features[b], &features[c]))
+                    .fold(f32::INFINITY, f32::min);
+                da.partial_cmp(&db).expect("NaN distance")
+            })
+            .expect("pool not empty");
+        if centroid_ids.contains(&next) {
+            break;
+        }
+        centroid_ids.push(next);
+    }
+    let dim = features[pool[0]].len();
+    let mut centroids: Vec<Vec<f32>> = centroid_ids
+        .iter()
+        .map(|&i| features[i].clone())
+        .collect();
+    let mut assignment = vec![0usize; pool.len()];
+
+    for _ in 0..iters.max(1) {
+        // Assign.
+        for (pos, &cand) in pool.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = squared_distance(&features[cand], c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            assignment[pos] = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (pos, &cand) in pool.iter().enumerate() {
+            let a = assignment[pos];
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(&features[cand]) {
+                *s += v;
+            }
+        }
+        for (ci, c) in centroids.iter_mut().enumerate() {
+            if counts[ci] > 0 {
+                let inv = 1.0 / counts[ci] as f32;
+                for (dst, s) in c.iter_mut().zip(&sums[ci]) {
+                    *dst = s * inv;
+                }
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Candidates in two well-separated clusters with synthetic class
+    /// probabilities: cluster A is certain, cluster B is uncertain.
+    fn setup() -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut feats = Vec::new();
+        let mut probs = Vec::new();
+        for i in 0..10 {
+            feats.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+            probs.push(vec![0.95, 0.05]); // confident
+        }
+        for i in 0..10 {
+            feats.push(vec![10.0 + i as f32 * 0.01, 0.0]);
+            probs.push(vec![0.52, 0.48]); // uncertain
+        }
+        (feats, probs)
+    }
+
+    #[test]
+    fn prefers_low_margin_candidates() {
+        let (feats, probs) = setup();
+        // Use a margin pool of 2 × budget = 10 so the margin filter actually
+        // bites with only 20 candidates (with the default 10× multiplier the
+        // pool would be the whole candidate set).
+        let cfg = ClusterMarginConfig {
+            margin_pool_multiplier: 2,
+            ..ClusterMarginConfig::default()
+        };
+        let picks = cluster_margin_selection(&feats, &probs, 5, &cfg);
+        assert_eq!(picks.len(), 5);
+        // Every pick must come from the uncertain cluster (indices 10..20):
+        // the 10 lowest-margin candidates are exactly those.
+        assert!(
+            picks.iter().all(|&i| i >= 10),
+            "all picks should be uncertain: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn spreads_picks_across_clusters_when_margins_tie() {
+        // All candidates equally uncertain -> diversity stage should spread
+        // selections across the two spatial clusters.
+        let mut feats = Vec::new();
+        for i in 0..10 {
+            feats.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            feats.push(vec![10.0 + i as f32 * 0.01, 0.0]);
+        }
+        let probs = vec![vec![0.5, 0.5]; 20];
+        let picks = cluster_margin_selection(&feats, &probs, 4, &ClusterMarginConfig::default());
+        let left = picks.iter().filter(|&&i| i < 10).count();
+        let right = picks.len() - left;
+        assert!(left >= 1 && right >= 1, "picks should span both clusters: {picks:?}");
+    }
+
+    #[test]
+    fn works_without_model_probabilities() {
+        let (feats, _) = setup();
+        let picks = cluster_margin_selection(&feats, &[], 6, &ClusterMarginConfig::default());
+        assert_eq!(picks.len(), 6);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), picks.len());
+    }
+
+    #[test]
+    fn budget_larger_than_pool() {
+        let (feats, probs) = setup();
+        let picks = cluster_margin_selection(&feats, &probs, 100, &ClusterMarginConfig::default());
+        assert_eq!(picks.len(), 20);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(cluster_margin_selection(&[], &[], 5, &ClusterMarginConfig::default()).is_empty());
+        let (feats, probs) = setup();
+        assert!(cluster_margin_selection(&feats, &probs, 0, &ClusterMarginConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn margin_computation() {
+        assert!((margin(&[0.7, 0.2, 0.1]) - 0.5).abs() < 1e-6);
+        assert!((margin(&[0.5, 0.5]) - 0.0).abs() < 1e-6);
+        // Single-entry vectors are treated as fully confident.
+        assert!((margin(&[1.0]) - 1.0).abs() < 1e-6);
+        // Empty vectors are treated as maximally uncertain.
+        assert_eq!(margin(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability rows must match")]
+    fn rejects_mismatched_probs() {
+        cluster_margin_selection(
+            &[vec![0.0, 1.0], vec![1.0, 0.0]],
+            &[vec![0.5, 0.5]],
+            1,
+            &ClusterMarginConfig::default(),
+        );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn valid_unique_selections(
+                n in 1usize..40,
+                budget in 1usize..10,
+                seed_vals in proptest::collection::vec(-5.0f32..5.0, 40 * 3),
+            ) {
+                let feats: Vec<Vec<f32>> = (0..n)
+                    .map(|i| seed_vals[i * 3..i * 3 + 3].to_vec())
+                    .collect();
+                let picks =
+                    cluster_margin_selection(&feats, &[], budget, &ClusterMarginConfig::default());
+                prop_assert!(picks.len() <= budget.min(n));
+                let unique: std::collections::HashSet<_> = picks.iter().collect();
+                prop_assert_eq!(unique.len(), picks.len());
+                prop_assert!(picks.iter().all(|&i| i < n));
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The greedy Coreset (k-center) acquisition function of Sener & Savarese
+//! (ICLR 2018).
+//!
+//! At each of `budget` steps the candidate farthest (in feature space) from
+//! the already-covered set — labeled points plus previously selected
+//! candidates — is picked. This is the density-based, diversity-seeking
+//! baseline the paper's `VE-sample` can switch to, and the ALM executes
+//! exactly `B` max-distance computations per `Explore` call (Section 4,
+//! Baseline cost model).
+
+use ve_ml::tensor::squared_distance;
+
+/// Selects `budget` candidate indices with the greedy k-center rule.
+///
+/// * `candidates` — feature vectors of the unlabeled pool.
+/// * `labeled` — feature vectors of already-labeled segments (may be empty;
+///   the first pick is then the candidate farthest from the pool centroid,
+///   which avoids an arbitrary dependence on input order).
+///
+/// # Panics
+/// Panics if feature dimensions are inconsistent.
+pub fn coreset_selection(
+    candidates: &[Vec<f32>],
+    labeled: &[Vec<f32>],
+    budget: usize,
+) -> Vec<usize> {
+    if candidates.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    let dim = candidates[0].len();
+    assert!(
+        candidates.iter().all(|c| c.len() == dim),
+        "inconsistent candidate dimensions"
+    );
+    assert!(
+        labeled.iter().all(|c| c.len() == dim),
+        "labeled dimensions do not match candidates"
+    );
+
+    // min_dist[i] = squared distance from candidate i to the covered set.
+    let mut min_dist: Vec<f32> = if labeled.is_empty() {
+        // Seed with distance to the candidate centroid so the first pick is
+        // the most "extreme" point rather than whatever appears first.
+        let mut centroid = vec![0.0f32; dim];
+        for c in candidates {
+            for (s, &v) in centroid.iter_mut().zip(c) {
+                *s += v;
+            }
+        }
+        let inv = 1.0 / candidates.len() as f32;
+        for s in &mut centroid {
+            *s *= inv;
+        }
+        candidates
+            .iter()
+            .map(|c| squared_distance(c, &centroid))
+            .collect()
+    } else {
+        candidates
+            .iter()
+            .map(|c| {
+                labeled
+                    .iter()
+                    .map(|l| squared_distance(c, l))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect()
+    };
+
+    let mut selected = Vec::with_capacity(budget.min(candidates.len()));
+    for _ in 0..budget.min(candidates.len()) {
+        // Pick the candidate with the largest distance to the covered set.
+        let mut best = usize::MAX;
+        let mut best_dist = f32::NEG_INFINITY;
+        for (i, &d) in min_dist.iter().enumerate() {
+            if selected.contains(&i) {
+                continue;
+            }
+            if d > best_dist {
+                best_dist = d;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        selected.push(best);
+        // Update coverage distances.
+        for (i, d) in min_dist.iter_mut().enumerate() {
+            let nd = squared_distance(&candidates[i], &candidates[best]);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight clusters far apart; coreset should cover all three before
+    /// revisiting any cluster.
+    fn clustered_candidates() -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for i in 0..5 {
+                out.push(vec![cx + i as f32 * 0.01, cy - i as f32 * 0.01]);
+            }
+        }
+        out
+    }
+
+    fn cluster_of(idx: usize) -> usize {
+        idx / 5
+    }
+
+    #[test]
+    fn covers_distinct_clusters_first() {
+        let candidates = clustered_candidates();
+        let picks = coreset_selection(&candidates, &[], 3);
+        assert_eq!(picks.len(), 3);
+        let clusters: std::collections::HashSet<usize> =
+            picks.iter().map(|&i| cluster_of(i)).collect();
+        assert_eq!(clusters.len(), 3, "each pick should come from a different cluster");
+    }
+
+    #[test]
+    fn respects_already_labeled_points() {
+        let candidates = clustered_candidates();
+        // Cluster 0 is already labeled; the first two picks must come from
+        // clusters 1 and 2.
+        let labeled = vec![vec![0.0, 0.0]];
+        let picks = coreset_selection(&candidates, &labeled, 2);
+        let clusters: std::collections::HashSet<usize> =
+            picks.iter().map(|&i| cluster_of(i)).collect();
+        assert!(!clusters.contains(&0), "cluster 0 is already covered: {picks:?}");
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_selections() {
+        let candidates = clustered_candidates();
+        let picks = coreset_selection(&candidates, &[], 15);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), picks.len());
+        assert_eq!(picks.len(), 15);
+    }
+
+    #[test]
+    fn budget_capped_by_pool_size() {
+        let candidates = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        assert_eq!(coreset_selection(&candidates, &[], 10).len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(coreset_selection(&[], &[], 5).is_empty());
+        assert!(coreset_selection(&[vec![1.0]], &[], 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let candidates = clustered_candidates();
+        assert_eq!(
+            coreset_selection(&candidates, &[], 4),
+            coreset_selection(&candidates, &[], 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled dimensions")]
+    fn rejects_mismatched_labeled_dims() {
+        coreset_selection(&[vec![1.0, 2.0]], &[vec![1.0]], 1);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn selections_are_valid_indices_and_unique(
+                points in proptest::collection::vec(
+                    proptest::collection::vec(-10.0f32..10.0, 3), 1..40),
+                budget in 0usize..10,
+            ) {
+                let picks = coreset_selection(&points, &[], budget);
+                prop_assert!(picks.len() <= budget.min(points.len()));
+                let unique: std::collections::HashSet<_> = picks.iter().collect();
+                prop_assert_eq!(unique.len(), picks.len());
+                prop_assert!(picks.iter().all(|&i| i < points.len()));
+            }
+        }
+    }
+}

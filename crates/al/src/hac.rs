@@ -1,0 +1,255 @@
+//! Average-linkage hierarchical agglomerative clustering (HAC).
+//!
+//! The original Cluster-Margin algorithm (Citovsky et al., 2021) clusters the
+//! unlabeled pool once with HAC and reuses the clustering across rounds. The
+//! default [`crate::cluster_margin_selection`] uses a small k-means for speed,
+//! but HAC is provided as an alternative diversity stage
+//! ([`crate::cluster_margin::ClusterMarginConfig`] + [`cluster_margin_selection_hac`])
+//! for workloads where the candidate pool is small enough (a few hundred
+//! windows) that the O(n² log n) cost is irrelevant and fidelity to the
+//! original algorithm is preferred.
+
+use crate::cluster_margin::ClusterMarginConfig;
+use ve_ml::tensor::squared_distance;
+
+/// Clusters `points` into at most `num_clusters` clusters with average-linkage
+/// HAC and returns the cluster index of every point.
+///
+/// # Panics
+/// Panics if `points` is empty or `num_clusters == 0`.
+pub fn hac_average_linkage(points: &[Vec<f32>], num_clusters: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "cannot cluster an empty set");
+    assert!(num_clusters > 0, "need at least one cluster");
+    let n = points.len();
+    let target = num_clusters.min(n);
+
+    // Each active cluster: member indices. Distances between clusters are the
+    // average pairwise squared distance of their members (computed from
+    // cluster centroid sums for O(1) merges since average linkage over
+    // squared Euclidean distances decomposes over coordinates).
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut num_active = n;
+
+    // Pairwise average-linkage distance between two clusters.
+    let cluster_distance = |a: &[usize], b: &[usize]| -> f64 {
+        let mut total = 0.0f64;
+        for &i in a {
+            for &j in b {
+                total += squared_distance(&points[i], &points[j]) as f64;
+            }
+        }
+        total / (a.len() * b.len()) as f64
+    };
+
+    while num_active > target {
+        // Find the closest pair of active clusters.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..members.len() {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..members.len() {
+                if !active[j] {
+                    continue;
+                }
+                let d = cluster_distance(&members[i], &members[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        if i == usize::MAX {
+            break;
+        }
+        // Merge j into i.
+        let moved = std::mem::take(&mut members[j]);
+        members[i].extend(moved);
+        active[j] = false;
+        num_active -= 1;
+    }
+
+    // Assign dense cluster ids.
+    let mut assignment = vec![0usize; n];
+    let mut next = 0usize;
+    for (ci, cluster) in members.iter().enumerate() {
+        if !active[ci] {
+            continue;
+        }
+        for &p in cluster {
+            assignment[p] = next;
+        }
+        next += 1;
+    }
+    assignment
+}
+
+/// Cluster-Margin selection using HAC for the diversity stage (the original
+/// algorithm's clustering choice). Margin filtering and the ascending-size
+/// round-robin stage are identical to [`crate::cluster_margin_selection`].
+pub fn cluster_margin_selection_hac(
+    features: &[Vec<f32>],
+    probs: &[Vec<f32>],
+    budget: usize,
+    cfg: &ClusterMarginConfig,
+) -> Vec<usize> {
+    if features.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    if !probs.is_empty() {
+        assert_eq!(probs.len(), features.len(), "probability rows must match candidates");
+    }
+    // Margin scores (same semantics as the k-means variant).
+    let margin = |p: &[f32]| -> f64 {
+        let mut top = f32::NEG_INFINITY;
+        let mut second = 0.0f32;
+        for &v in p {
+            if v > top {
+                second = if top.is_finite() { top } else { 0.0 };
+                top = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        if !top.is_finite() {
+            0.0
+        } else {
+            (top - second).max(0.0) as f64
+        }
+    };
+    let margins: Vec<f64> = (0..features.len())
+        .map(|i| {
+            if probs.is_empty() || probs[i].len() < 2 {
+                0.0
+            } else {
+                margin(&probs[i])
+            }
+        })
+        .collect();
+    let pool_size = (cfg.margin_pool_multiplier.max(1) * budget).min(features.len());
+    let mut order: Vec<usize> = (0..features.len()).collect();
+    order.sort_by(|&a, &b| margins[a].partial_cmp(&margins[b]).expect("NaN margin"));
+    let pool: Vec<usize> = order.into_iter().take(pool_size).collect();
+
+    let k = (cfg.clusters_per_budget.max(1) * budget).min(pool.len()).max(1);
+    let pool_points: Vec<Vec<f32>> = pool.iter().map(|&i| features[i].clone()).collect();
+    let assignment = hac_average_linkage(&pool_points, k);
+
+    let num_clusters = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    for (pos, &cand) in pool.iter().enumerate() {
+        clusters[assignment[pos]].push(cand);
+    }
+    for cluster in &mut clusters {
+        cluster.sort_by(|&a, &b| margins[a].partial_cmp(&margins[b]).expect("NaN margin"));
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters.sort_by_key(|c| c.len());
+
+    let mut selected = Vec::with_capacity(budget);
+    let mut cursor = vec![0usize; clusters.len()];
+    while selected.len() < budget.min(pool.len()) {
+        let mut progressed = false;
+        for (ci, cluster) in clusters.iter().enumerate() {
+            if selected.len() >= budget {
+                break;
+            }
+            if cursor[ci] < cluster.len() {
+                selected.push(cluster[cursor[ci]]);
+                cursor[ci] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)] {
+            for i in 0..6 {
+                out.push(vec![cx + i as f32 * 0.05, cy - i as f32 * 0.05]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hac_recovers_well_separated_blobs() {
+        let points = three_blobs();
+        let assignment = hac_average_linkage(&points, 3);
+        // Every blob must map to exactly one cluster id.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> =
+                (0..6).map(|i| assignment[blob * 6 + i]).collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split across clusters: {assignment:?}");
+        }
+        // And the three blobs map to three different ids.
+        let distinct: std::collections::HashSet<usize> = assignment.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn hac_with_one_cluster_puts_everything_together() {
+        let points = three_blobs();
+        let assignment = hac_average_linkage(&points, 1);
+        assert!(assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn hac_with_more_clusters_than_points_is_identity_like() {
+        let points = vec![vec![0.0f32], vec![1.0], vec![2.0]];
+        let assignment = hac_average_linkage(&points, 10);
+        let distinct: std::collections::HashSet<usize> = assignment.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn hac_cluster_margin_spreads_across_blobs() {
+        let points = three_blobs();
+        let probs = vec![vec![0.5, 0.5]; points.len()];
+        let picks =
+            cluster_margin_selection_hac(&points, &probs, 3, &ClusterMarginConfig::default());
+        assert_eq!(picks.len(), 3);
+        let blobs: std::collections::HashSet<usize> = picks.iter().map(|&i| i / 6).collect();
+        assert_eq!(blobs.len(), 3, "one pick per blob expected: {picks:?}");
+    }
+
+    #[test]
+    fn hac_cluster_margin_prefers_uncertain_candidates() {
+        let points = three_blobs();
+        // Blob 0 uncertain, blobs 1-2 confident.
+        let probs: Vec<Vec<f32>> = (0..points.len())
+            .map(|i| if i < 6 { vec![0.51, 0.49] } else { vec![0.95, 0.05] })
+            .collect();
+        let cfg = ClusterMarginConfig {
+            margin_pool_multiplier: 2,
+            ..ClusterMarginConfig::default()
+        };
+        let picks = cluster_margin_selection_hac(&points, &probs, 3, &cfg);
+        assert!(picks.iter().all(|&i| i < 6), "picks must come from the uncertain blob: {picks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn hac_rejects_empty_input() {
+        hac_average_linkage(&[], 2);
+    }
+
+    #[test]
+    fn agrees_with_kmeans_variant_on_budget_and_uniqueness() {
+        let points = three_blobs();
+        let picks = cluster_margin_selection_hac(&points, &[], 7, &ClusterMarginConfig::default());
+        assert_eq!(picks.len(), 7);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), picks.len());
+    }
+}

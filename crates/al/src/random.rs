@@ -1,0 +1,81 @@
+//! Random sampling — the cheap default acquisition function.
+//!
+//! Random needs only video metadata (no features, no model), so it is the
+//! strategy `VE-sample` starts with: it has zero preprocessing cost and is
+//! known to be competitive on datasets without class skew.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects `budget` distinct indices uniformly at random from
+/// `0..num_candidates`. If `budget >= num_candidates`, every index is
+/// returned (in shuffled order).
+pub fn random_selection<R: Rng + ?Sized>(
+    num_candidates: usize,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..num_candidates).collect();
+    indices.shuffle(rng);
+    indices.truncate(budget.min(num_candidates));
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn selects_requested_budget_without_duplicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = random_selection(100, 10, &mut rng);
+        assert_eq!(sel.len(), 10);
+        let unique: HashSet<_> = sel.iter().collect();
+        assert_eq!(unique.len(), 10);
+        assert!(sel.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn budget_larger_than_pool_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = random_selection(5, 50, &mut rng);
+        assert_eq!(sel.len(), 5);
+        let unique: HashSet<_> = sel.iter().collect();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn empty_pool_returns_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(random_selection(0, 5, &mut rng).is_empty());
+        assert!(random_selection(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 20];
+        for _ in 0..2_000 {
+            for i in random_selection(20, 5, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        // Each index should be picked about 2000 * 5/20 = 500 times.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (400..620).contains(&c),
+                "index {i} picked {c} times, expected ~500"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_selection(50, 8, &mut StdRng::seed_from_u64(9));
+        let b = random_selection(50, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

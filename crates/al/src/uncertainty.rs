@@ -1,0 +1,98 @@
+//! Rare-category uncertainty sampling for `Explore(label = a)` calls.
+//!
+//! Following Mullapudi et al. (ICCV 2021), as adopted by the paper
+//! (Section 3.1.2): let `n_a` be the number of segments labeled with the
+//! requested activity `a` and `n_o` the number labeled with any other
+//! activity. While the class is still rare (`n_a < n_o`) the sampler returns
+//! the segments the model is *most confident* contain `a` (to quickly grow
+//! the positive set); once the class is no longer rare (`n_a >= n_o`) it
+//! returns the segments the model is *most uncertain* about (probability
+//! closest to 0.5) to refine the boundary.
+
+/// Selects `budget` candidate indices given the model's probability that each
+/// candidate shows the requested class.
+///
+/// * `class_probs[i]` — predicted probability that candidate `i` contains the
+///   target class.
+/// * `n_positive` / `n_negative` — label counts `n_a` and `n_o` collected so
+///   far for the target class and all other classes respectively.
+pub fn uncertainty_selection(
+    class_probs: &[f32],
+    n_positive: u64,
+    n_negative: u64,
+    budget: usize,
+) -> Vec<usize> {
+    if class_probs.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..class_probs.len()).collect();
+    if n_positive < n_negative {
+        // Rare phase: most confident positives first.
+        order.sort_by(|&a, &b| {
+            class_probs[b]
+                .partial_cmp(&class_probs[a])
+                .expect("NaN probability")
+        });
+    } else {
+        // Common phase: most uncertain first (closest to 0.5).
+        order.sort_by(|&a, &b| {
+            let da = (class_probs[a] - 0.5).abs();
+            let db = (class_probs[b] - 0.5).abs();
+            da.partial_cmp(&db).expect("NaN probability")
+        });
+    }
+    order.truncate(budget.min(class_probs.len()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_phase_picks_most_confident() {
+        let probs = vec![0.1, 0.9, 0.5, 0.8, 0.2];
+        // n_a < n_o -> confident-first.
+        let picks = uncertainty_selection(&probs, 2, 10, 2);
+        assert_eq!(picks, vec![1, 3]);
+    }
+
+    #[test]
+    fn common_phase_picks_most_uncertain() {
+        let probs = vec![0.1, 0.9, 0.52, 0.8, 0.47];
+        // n_a >= n_o -> uncertainty-first.
+        let picks = uncertainty_selection(&probs, 10, 5, 2);
+        assert_eq!(picks, vec![2, 4]);
+    }
+
+    #[test]
+    fn equal_counts_use_uncertainty() {
+        let probs = vec![0.99, 0.01, 0.5];
+        let picks = uncertainty_selection(&probs, 3, 3, 1);
+        assert_eq!(picks, vec![2]);
+    }
+
+    #[test]
+    fn budget_capped_and_unique() {
+        let probs = vec![0.3, 0.6, 0.7];
+        let picks = uncertainty_selection(&probs, 0, 0, 10);
+        assert_eq!(picks.len(), 3);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(uncertainty_selection(&[], 0, 0, 5).is_empty());
+        assert!(uncertainty_selection(&[0.5], 0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn phase_switch_changes_ordering() {
+        let probs = vec![0.95, 0.55];
+        let rare = uncertainty_selection(&probs, 1, 5, 1);
+        let common = uncertainty_selection(&probs, 5, 1, 1);
+        assert_eq!(rare, vec![0], "rare phase favors the confident positive");
+        assert_eq!(common, vec![1], "common phase favors the uncertain one");
+    }
+}

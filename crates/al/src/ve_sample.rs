@@ -1,0 +1,245 @@
+//! The `VE-sample` acquisition-function selection policy (Section 3.1.2).
+//!
+//! `VE-sample` casts acquisition-function selection as a binary decision
+//! between cheap Random sampling and a more expensive active-learning
+//! function. It starts with Random (no preprocessing, good on uniform data),
+//! watches the per-class label counts after every batch, and switches — once
+//! and permanently — to the configured active-learning function when the
+//! observed distribution is sufficiently skewed. The skew test is the
+//! k-sample Anderson–Darling test with `p <= 0.001` by default, or the
+//! Appendix-A frequency test (`Freq.` in Figure 3).
+
+use ve_stats::{SkewDetector, SkewTest};
+
+/// Which acquisition function the policy has currently selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquisitionKind {
+    /// Uniform random sampling over unlabeled candidates.
+    Random,
+    /// Greedy k-center Coreset sampling.
+    Coreset,
+    /// Cluster-Margin sampling (the prototype's default AL function).
+    ClusterMargin,
+    /// Rare-class uncertainty sampling (only used for `Explore(label=a)`).
+    Uncertainty,
+}
+
+impl std::fmt::Display for AcquisitionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AcquisitionKind::Random => "Random",
+            AcquisitionKind::Coreset => "Coreset",
+            AcquisitionKind::ClusterMargin => "Cluster-Margin",
+            AcquisitionKind::Uncertainty => "Uncertainty",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the `VE-sample` policy.
+#[derive(Debug, Clone, Copy)]
+pub struct VeSampleConfig {
+    /// The active-learning function to switch to once skew is detected
+    /// (`VE-sample` uses Coreset; `VE-sample (CM)` uses Cluster-Margin, which
+    /// is the default because it "always performs at least as well").
+    pub active_function: AcquisitionKind,
+    /// The statistical test used to decide skew.
+    pub skew_test: SkewTest,
+    /// Minimum number of labels before the skew test is evaluated.
+    pub min_labels: usize,
+}
+
+impl Default for VeSampleConfig {
+    fn default() -> Self {
+        Self {
+            active_function: AcquisitionKind::ClusterMargin,
+            skew_test: SkewTest::AndersonDarling { alpha: 0.001 },
+            min_labels: 10,
+        }
+    }
+}
+
+impl VeSampleConfig {
+    /// The `VE-sample` variant of the paper (switches to Coreset).
+    pub fn coreset() -> Self {
+        Self {
+            active_function: AcquisitionKind::Coreset,
+            ..Self::default()
+        }
+    }
+
+    /// The `VE-sample (CM)` variant (switches to Cluster-Margin). This is the
+    /// default.
+    pub fn cluster_margin() -> Self {
+        Self::default()
+    }
+
+    /// The `Freq.` variant: Cluster-Margin with the Appendix-A frequency test.
+    pub fn frequency(m: f64) -> Self {
+        Self {
+            active_function: AcquisitionKind::ClusterMargin,
+            skew_test: SkewTest::Frequency { m, alpha: 0.001 },
+            ..Self::default()
+        }
+    }
+}
+
+/// Stateful `VE-sample` policy.
+#[derive(Debug, Clone)]
+pub struct VeSample {
+    config: VeSampleConfig,
+    detector: SkewDetector,
+    switched_at: Option<usize>,
+}
+
+impl Default for VeSample {
+    fn default() -> Self {
+        Self::new(VeSampleConfig::default())
+    }
+}
+
+impl VeSample {
+    /// Creates the policy with the given configuration.
+    pub fn new(config: VeSampleConfig) -> Self {
+        let detector = SkewDetector::new(config.skew_test).with_min_labels(config.min_labels);
+        Self {
+            config,
+            detector,
+            switched_at: None,
+        }
+    }
+
+    /// The configured active-learning function.
+    pub fn config(&self) -> &VeSampleConfig {
+        &self.config
+    }
+
+    /// Observes the current per-class label counts (after a labeling batch)
+    /// and returns the acquisition function to use for the *next* `Explore`
+    /// call.
+    pub fn observe(&mut self, class_counts: &[u64]) -> AcquisitionKind {
+        let total: u64 = class_counts.iter().sum();
+        if self.detector.observe(class_counts) && self.switched_at.is_none() {
+            self.switched_at = Some(total as usize);
+        }
+        self.current()
+    }
+
+    /// The currently selected acquisition function without new evidence.
+    pub fn current(&self) -> AcquisitionKind {
+        if self.detector.is_latched() {
+            self.config.active_function
+        } else {
+            AcquisitionKind::Random
+        }
+    }
+
+    /// Whether the policy has switched to active learning.
+    pub fn has_switched(&self) -> bool {
+        self.detector.is_latched()
+    }
+
+    /// Number of labels that had been collected when the switch happened.
+    pub fn switched_at(&self) -> Option<usize> {
+        self.switched_at
+    }
+
+    /// The acquisition function for a label-targeted `Explore(label=a)` call:
+    /// always rare-class uncertainty sampling, regardless of the skew state.
+    pub fn for_target_label(&self) -> AcquisitionKind {
+        AcquisitionKind::Uncertainty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_random() {
+        let policy = VeSample::default();
+        assert_eq!(policy.current(), AcquisitionKind::Random);
+        assert!(!policy.has_switched());
+    }
+
+    #[test]
+    fn stays_random_on_uniform_labels() {
+        let mut policy = VeSample::default();
+        for step in 1..=20u64 {
+            let counts = vec![step, step, step, step];
+            assert_eq!(policy.observe(&counts), AcquisitionKind::Random);
+        }
+        assert!(!policy.has_switched());
+    }
+
+    #[test]
+    fn switches_to_cluster_margin_on_skew() {
+        let mut policy = VeSample::default();
+        // Deer-like growth: the first class dominates.
+        let mut kind = AcquisitionKind::Random;
+        for step in 1..=30u64 {
+            let counts = vec![10 * step, step.max(1) / 2, 1, 0, 0, 0];
+            kind = policy.observe(&counts);
+        }
+        assert_eq!(kind, AcquisitionKind::ClusterMargin);
+        assert!(policy.has_switched());
+        assert!(policy.switched_at().is_some());
+    }
+
+    #[test]
+    fn coreset_variant_switches_to_coreset() {
+        let mut policy = VeSample::new(VeSampleConfig::coreset());
+        for step in 1..=30u64 {
+            policy.observe(&[20 * step, 1, 1, 0]);
+        }
+        assert_eq!(policy.current(), AcquisitionKind::Coreset);
+    }
+
+    #[test]
+    fn frequency_variant_is_slower_to_switch() {
+        // Feed the same moderately skewed counts to both variants and verify
+        // the frequency test switches no earlier than the AD test (Section
+        // 5.2: "slightly more conservative and takes longer to switch").
+        let counts_at = |step: u64| vec![6 * step, 2 * step, step, step.max(1) / 2];
+        let mut ad = VeSample::new(VeSampleConfig::cluster_margin());
+        let mut freq = VeSample::new(VeSampleConfig::frequency(1.0));
+        let mut ad_step = None;
+        let mut freq_step = None;
+        for step in 1..=60u64 {
+            if ad.observe(&counts_at(step)) != AcquisitionKind::Random && ad_step.is_none() {
+                ad_step = Some(step);
+            }
+            if freq.observe(&counts_at(step)) != AcquisitionKind::Random && freq_step.is_none() {
+                freq_step = Some(step);
+            }
+        }
+        let ad_step = ad_step.expect("AD should eventually switch");
+        // Never switching is acceptable for the conservative frequency test.
+        if let Some(f) = freq_step {
+            assert!(f >= ad_step, "freq switched earlier: {f} < {ad_step}");
+        }
+    }
+
+    #[test]
+    fn switch_is_permanent() {
+        let mut policy = VeSample::default();
+        for step in 1..=30u64 {
+            policy.observe(&[50 * step, 1, 0, 0]);
+        }
+        assert!(policy.has_switched());
+        // Even if subsequent counts look uniform, the policy stays latched.
+        assert_eq!(policy.observe(&[100, 100, 100, 100]), AcquisitionKind::ClusterMargin);
+    }
+
+    #[test]
+    fn no_switch_before_min_labels() {
+        let mut policy = VeSample::default();
+        assert_eq!(policy.observe(&[5, 0, 0, 0]), AcquisitionKind::Random);
+    }
+
+    #[test]
+    fn target_label_always_uses_uncertainty() {
+        let policy = VeSample::default();
+        assert_eq!(policy.for_target_label(), AcquisitionKind::Uncertainty);
+    }
+}

@@ -1,0 +1,24 @@
+//! `ve-bandit` — rising-bandit feature-extractor selection (Section 3.2).
+//!
+//! VOCALExplore must pick, among several candidate pretrained feature
+//! extractors, the one that yields the best domain-specific models — without
+//! a validation set, without extracting every feature from every video, and
+//! while model quality is still rising as labels accumulate. The paper casts
+//! this as a **Rising Bandit** problem (Li et al., AAAI 2020): each extractor
+//! is an arm whose reward (cross-validated macro F1) increases concavely with
+//! the number of labels, so an arm can be eliminated as soon as an upper
+//! bound on its future reward falls below another arm's lower bound.
+//!
+//! VOCALExplore's adaptations (Section 3.2.4) are all implemented here:
+//!
+//! * rewards are smoothed with an EWMA of span `w` before bounds are computed
+//!   (measured CV F1 is noisy),
+//! * the slope used for the upper bound is computed over a window of `C`
+//!   steps rather than consecutive steps (growth is not strictly concave),
+//! * evaluation only starts after a warm-up of 10 iterations, and
+//! * *all* remaining arms are evaluated at every step, because every new
+//!   batch of labels can update every candidate's model.
+
+pub mod rising;
+
+pub use rising::{ArmSnapshot, BanditEvent, RisingBandit, RisingBanditConfig};

@@ -1,0 +1,456 @@
+//! The rising-bandit elimination algorithm.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use ve_ml::Ewma;
+
+/// Hyperparameters of the rising bandit (Section 3.2.5).
+#[derive(Debug, Clone, Copy)]
+pub struct RisingBanditConfig {
+    /// Horizon `T`: the future step at which the upper bound is evaluated.
+    /// Small values (e.g. 20) eliminate arms quickly; larger values (50–100)
+    /// are more robust but cost more feature extraction.
+    pub horizon: usize,
+    /// Slope window `C`: the upper-bound slope is the smoothed growth between
+    /// steps `t - C` and `t`.
+    pub slope_window: usize,
+    /// EWMA span `w` used to smooth the raw per-step scores.
+    pub smoothing_span: usize,
+    /// Number of initial observations ignored before elimination may begin
+    /// (the prototype waits 10 iterations because early scores are noisy).
+    pub warmup: usize,
+    /// When `true`, reaching the horizon forces selection of the arm with the
+    /// best smoothed score even if several arms are still alive.
+    pub force_select_at_horizon: bool,
+}
+
+impl Default for RisingBanditConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 50,
+            slope_window: 5,
+            smoothing_span: 5,
+            warmup: 10,
+            force_select_at_horizon: true,
+        }
+    }
+}
+
+impl RisingBanditConfig {
+    /// The paper's resource-constrained setting (`T = 20`).
+    pub fn short_horizon() -> Self {
+        Self {
+            horizon: 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-arm bookkeeping.
+#[derive(Debug, Clone)]
+struct ArmState {
+    ewma: Ewma,
+    /// Smoothed score history (one entry per observed step).
+    smoothed: Vec<f64>,
+    eliminated_at: Option<usize>,
+}
+
+impl ArmState {
+    fn new(span: usize) -> Self {
+        Self {
+            ewma: Ewma::with_span(span),
+            smoothed: Vec::new(),
+            eliminated_at: None,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.eliminated_at.is_none()
+    }
+}
+
+/// Public snapshot of an arm's state (used by the Figure 6 bench to plot the
+/// bound evolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmSnapshot<A> {
+    /// The arm.
+    pub arm: A,
+    /// Latest smoothed score, if any observation has been made.
+    pub lower_bound: Option<f64>,
+    /// Upper bound on the score at the horizon, if computable.
+    pub upper_bound: Option<f64>,
+    /// Whether the arm is still a candidate.
+    pub alive: bool,
+    /// The step at which the arm was eliminated, if it was.
+    pub eliminated_at: Option<usize>,
+}
+
+/// Events emitted by [`RisingBandit::observe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BanditEvent<A> {
+    /// Arms eliminated at this step.
+    Eliminated(Vec<A>),
+    /// A single arm remains (or was force-selected at the horizon).
+    Selected(A),
+    /// Nothing changed.
+    None,
+}
+
+/// Rising-bandit selector over arms of type `A`.
+#[derive(Debug, Clone)]
+pub struct RisingBandit<A: Copy + Eq + Hash> {
+    config: RisingBanditConfig,
+    order: Vec<A>,
+    arms: HashMap<A, ArmState>,
+    step: usize,
+    selected: Option<A>,
+}
+
+impl<A: Copy + Eq + Hash> RisingBandit<A> {
+    /// Creates a bandit over the given arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or contains duplicates.
+    pub fn new(arms: Vec<A>, config: RisingBanditConfig) -> Self {
+        assert!(!arms.is_empty(), "need at least one arm");
+        let mut map = HashMap::with_capacity(arms.len());
+        for &a in &arms {
+            assert!(
+                map.insert(a, ArmState::new(config.smoothing_span)).is_none(),
+                "duplicate arm"
+            );
+        }
+        let selected = if arms.len() == 1 { Some(arms[0]) } else { None };
+        Self {
+            config,
+            order: arms,
+            arms: map,
+            step: 0,
+            selected,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RisingBanditConfig {
+        &self.config
+    }
+
+    /// Number of observation steps consumed so far.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Arms still under consideration, in insertion order.
+    pub fn active_arms(&self) -> Vec<A> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|a| self.arms[a].alive())
+            .collect()
+    }
+
+    /// The selected arm once only one candidate remains.
+    pub fn selected(&self) -> Option<A> {
+        self.selected
+    }
+
+    /// Whether feature selection has converged to a single arm.
+    pub fn is_converged(&self) -> bool {
+        self.selected.is_some()
+    }
+
+    /// Current snapshot of every arm (for diagnostics and the Figure 6 plot).
+    pub fn snapshots(&self) -> Vec<ArmSnapshot<A>> {
+        self.order
+            .iter()
+            .map(|&a| {
+                let state = &self.arms[&a];
+                ArmSnapshot {
+                    arm: a,
+                    lower_bound: state.smoothed.last().copied(),
+                    upper_bound: self.upper_bound(state),
+                    alive: state.alive(),
+                    eliminated_at: state.eliminated_at,
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds one step of scores — one `(arm, score)` pair for every arm that
+    /// is still alive (scores for eliminated arms are ignored; missing scores
+    /// for alive arms simply skip that arm's update this step, which happens
+    /// when cross-validation could not be evaluated yet).
+    pub fn observe(&mut self, scores: &[(A, f64)]) -> BanditEvent<A> {
+        if self.selected.is_some() {
+            return BanditEvent::None;
+        }
+        self.step += 1;
+        for &(arm, score) in scores {
+            if let Some(state) = self.arms.get_mut(&arm) {
+                if state.alive() {
+                    let smoothed = state.ewma.update(score);
+                    state.smoothed.push(smoothed);
+                }
+            }
+        }
+
+        let mut eliminated = Vec::new();
+        if self.step > self.config.warmup {
+            // Highest lower bound among alive arms.
+            let best_lower = self
+                .order
+                .iter()
+                .filter(|a| self.arms[a].alive())
+                .filter_map(|a| self.arms[a].smoothed.last().copied())
+                .fold(f64::NEG_INFINITY, f64::max);
+            for &arm in &self.order {
+                let state = &self.arms[&arm];
+                if !state.alive() {
+                    continue;
+                }
+                if let Some(upper) = self.upper_bound(state) {
+                    // Strict inequality: ties keep the arm alive.
+                    if upper < best_lower {
+                        eliminated.push(arm);
+                    }
+                }
+            }
+            for &arm in &eliminated {
+                self.arms.get_mut(&arm).expect("known arm").eliminated_at = Some(self.step);
+            }
+        }
+
+        // Forced selection at the horizon.
+        let alive = self.active_arms();
+        if alive.len() == 1 {
+            self.selected = Some(alive[0]);
+            return BanditEvent::Selected(alive[0]);
+        }
+        if self.config.force_select_at_horizon && self.step >= self.config.horizon {
+            let best = alive
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let sa = self.arms[&a].smoothed.last().copied().unwrap_or(f64::MIN);
+                    let sb = self.arms[&b].smoothed.last().copied().unwrap_or(f64::MIN);
+                    sa.partial_cmp(&sb).expect("NaN score")
+                })
+                .expect("at least one alive arm");
+            for &arm in &alive {
+                if arm != best {
+                    self.arms.get_mut(&arm).expect("known arm").eliminated_at = Some(self.step);
+                }
+            }
+            self.selected = Some(best);
+            return BanditEvent::Selected(best);
+        }
+
+        if eliminated.is_empty() {
+            BanditEvent::None
+        } else {
+            BanditEvent::Eliminated(eliminated)
+        }
+    }
+
+    /// Upper bound `u_f = l_f + ω_f · (T − t)` with the slope computed over
+    /// the window `C` (Section 3.2.4). Returns `None` until enough smoothed
+    /// observations exist.
+    fn upper_bound(&self, state: &ArmState) -> Option<f64> {
+        let n = state.smoothed.len();
+        if n == 0 {
+            return None;
+        }
+        let lower = state.smoothed[n - 1];
+        let c = self.config.slope_window;
+        if n <= c {
+            // Not enough history for a slope: the bound is unbounded in
+            // principle; report the most optimistic finite value (perfect
+            // score) so the arm cannot be eliminated yet.
+            return Some(f64::INFINITY);
+        }
+        let slope = ((state.smoothed[n - 1] - state.smoothed[n - 1 - c]) / c as f64).max(0.0);
+        let remaining = self.config.horizon.saturating_sub(self.step) as f64;
+        Some(lower + slope * remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated learning curve: approaches `ceiling` with rate `rate`, plus
+    /// deterministic ripple to mimic CV noise.
+    fn curve(ceiling: f64, rate: f64, step: usize) -> f64 {
+        let t = step as f64;
+        let ripple = 0.01 * ((step * 7919 % 13) as f64 / 13.0 - 0.5);
+        (ceiling * (1.0 - (-rate * t).exp()) + ripple).clamp(0.0, 1.0)
+    }
+
+    fn run_bandit(
+        ceilings: &[f64],
+        config: RisingBanditConfig,
+        steps: usize,
+    ) -> (RisingBandit<usize>, Option<usize>) {
+        let arms: Vec<usize> = (0..ceilings.len()).collect();
+        let mut bandit = RisingBandit::new(arms.clone(), config);
+        for step in 1..=steps {
+            let scores: Vec<(usize, f64)> = bandit
+                .active_arms()
+                .into_iter()
+                .map(|a| (a, curve(ceilings[a], 0.15, step)))
+                .collect();
+            if let BanditEvent::Selected(_) = bandit.observe(&scores) {
+                break;
+            }
+        }
+        let sel = bandit.selected();
+        (bandit, sel)
+    }
+
+    #[test]
+    fn selects_the_best_arm_with_clear_gaps() {
+        let (bandit, selected) = run_bandit(&[0.85, 0.55, 0.30, 0.05], RisingBanditConfig::default(), 60);
+        assert_eq!(selected, Some(0));
+        assert!(bandit.is_converged());
+    }
+
+    #[test]
+    fn bad_arms_are_eliminated_before_the_horizon() {
+        let (bandit, _) = run_bandit(&[0.85, 0.10], RisingBanditConfig::default(), 60);
+        let snaps = bandit.snapshots();
+        let bad = snaps.iter().find(|s| s.arm == 1).unwrap();
+        assert!(bad.eliminated_at.is_some());
+        assert!(
+            bad.eliminated_at.unwrap() < 50,
+            "a hopeless arm should fall before the horizon: {:?}",
+            bad.eliminated_at
+        );
+    }
+
+    #[test]
+    fn no_elimination_during_warmup() {
+        let arms = vec![0usize, 1];
+        let mut bandit = RisingBandit::new(arms, RisingBanditConfig::default());
+        for step in 1..=10 {
+            let scores = vec![(0usize, 0.9), (1usize, 0.05)];
+            let event = bandit.observe(&scores);
+            assert_eq!(event, BanditEvent::None, "no elimination during warmup (step {step})");
+        }
+        assert_eq!(bandit.active_arms().len(), 2);
+    }
+
+    #[test]
+    fn shorter_horizon_converges_faster() {
+        let ceilings = [0.8, 0.7, 0.5, 0.3, 0.1];
+        let (fast, sel_fast) = run_bandit(&ceilings, RisingBanditConfig::short_horizon(), 100);
+        let (slow, sel_slow) = run_bandit(&ceilings, RisingBanditConfig::default(), 100);
+        assert!(sel_fast.is_some() && sel_slow.is_some());
+        assert!(
+            fast.step() <= slow.step(),
+            "T=20 should converge no later than T=50 ({} vs {})",
+            fast.step(),
+            slow.step()
+        );
+    }
+
+    #[test]
+    fn forced_selection_at_horizon_picks_current_best() {
+        // Two arms that stay extremely close: elimination may never trigger,
+        // but the horizon forces a winner.
+        let (bandit, selected) = run_bandit(&[0.700, 0.699], RisingBanditConfig::default(), 80);
+        assert!(selected.is_some());
+        assert!(bandit.step() <= 50, "selection must happen by T");
+    }
+
+    #[test]
+    fn late_bloomer_survives_thanks_to_optimistic_bound() {
+        // Arm 1 starts worse but rises later; with the default horizon the
+        // bandit must not eliminate it during its slow early phase... and a
+        // slowly-rising arm whose upper bound stays above the leader's lower
+        // bound survives until the curves separate for good.
+        let arms = vec![0usize, 1usize];
+        let mut bandit = RisingBandit::new(arms, RisingBanditConfig::default());
+        let mut eliminated_early = false;
+        for step in 1..=25 {
+            // Arm 0: quick riser to 0.6. Arm 1: slow riser that passes it later.
+            let a0 = curve(0.6, 0.3, step);
+            let a1 = curve(0.8, 0.06, step);
+            let event = bandit.observe(&[(0, a0), (1, a1)]);
+            if step <= 15 {
+                if let BanditEvent::Eliminated(arms) = &event {
+                    if arms.contains(&1) {
+                        eliminated_early = true;
+                    }
+                }
+            }
+        }
+        assert!(!eliminated_early, "slow-but-rising arm must survive early steps");
+    }
+
+    #[test]
+    fn selected_bandit_ignores_further_observations() {
+        let (mut bandit, selected) = run_bandit(&[0.9, 0.1], RisingBanditConfig::default(), 60);
+        assert!(selected.is_some());
+        let before = bandit.step();
+        assert_eq!(bandit.observe(&[(0, 0.5), (1, 0.99)]), BanditEvent::None);
+        assert_eq!(bandit.step(), before);
+        assert_eq!(bandit.selected(), selected);
+    }
+
+    #[test]
+    fn single_arm_is_selected_immediately() {
+        let bandit: RisingBandit<usize> = RisingBandit::new(vec![3], RisingBanditConfig::default());
+        assert_eq!(bandit.selected(), Some(3));
+    }
+
+    #[test]
+    fn snapshots_expose_bounds() {
+        let arms = vec![0usize, 1];
+        let mut bandit = RisingBandit::new(arms, RisingBanditConfig::default());
+        for step in 1..=12 {
+            bandit.observe(&[(0, curve(0.8, 0.2, step)), (1, curve(0.4, 0.2, step))]);
+        }
+        let snaps = bandit.snapshots();
+        for s in &snaps {
+            assert!(s.lower_bound.is_some());
+            let u = s.upper_bound.unwrap();
+            assert!(u >= s.lower_bound.unwrap(), "upper >= lower");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one arm")]
+    fn rejects_empty_arms() {
+        let _: RisingBandit<usize> = RisingBandit::new(vec![], RisingBanditConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate arm")]
+    fn rejects_duplicate_arms() {
+        let _: RisingBandit<usize> = RisingBandit::new(vec![1, 1], RisingBanditConfig::default());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn always_converges_to_an_arm_that_was_offered(
+                ceilings in proptest::collection::vec(0.05f64..0.95, 2..6),
+            ) {
+                let (bandit, selected) =
+                    run_bandit(&ceilings, RisingBanditConfig::default(), 80);
+                let selected = selected.expect("must converge by the horizon");
+                prop_assert!(selected < ceilings.len());
+                prop_assert!(bandit.is_converged());
+                // The selected arm should be within 0.15 of the best ceiling
+                // (the bandit guarantees near-optimality, not optimality).
+                let best = ceilings.iter().cloned().fold(f64::MIN, f64::max);
+                prop_assert!(ceilings[selected] >= best - 0.15,
+                    "selected ceiling {} vs best {}", ceilings[selected], best);
+            }
+        }
+    }
+}

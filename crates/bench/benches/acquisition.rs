@@ -1,0 +1,50 @@
+//! Microbenchmarks for the acquisition functions (`T_s` tasks).
+//!
+//! The paper's latency argument rests on sample selection being cheap
+//! relative to feature extraction; these benchmarks measure the per-call cost
+//! of Random, Coreset, and Cluster-Margin selection at realistic candidate
+//! pool sizes (B = 5, pools of 100–1000 windows, 64-dimensional features).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use ve_al::{cluster_margin_selection, coreset_selection, random_selection, ClusterMarginConfig};
+
+fn make_pool(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let feats: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
+        .collect();
+    let probs: Vec<Vec<f32>> = (0..n)
+        .map(|_| {
+            let a: f32 = rng.gen();
+            vec![a, 1.0 - a]
+        })
+        .collect();
+    (feats, probs)
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquisition");
+    for &pool in &[100usize, 500, 1000] {
+        let (feats, probs) = make_pool(pool, 64, 7);
+        let labeled: Vec<Vec<f32>> = feats.iter().take(20).cloned().collect();
+
+        group.bench_with_input(BenchmarkId::new("random", pool), &pool, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(random_selection(n, 5, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("coreset", pool), &pool, |b, _| {
+            b.iter(|| black_box(coreset_selection(&feats, &labeled, 5)))
+        });
+        group.bench_with_input(BenchmarkId::new("cluster_margin", pool), &pool, |b, _| {
+            let cfg = ClusterMarginConfig::default();
+            b.iter(|| black_box(cluster_margin_selection(&feats, &probs, 5, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquisition);
+criterion_main!(benches);

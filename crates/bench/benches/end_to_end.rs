@@ -1,0 +1,48 @@
+//! End-to-end benchmark: the in-process cost of one full `Explore → label →
+//! retrain` iteration under the default VOCALExplore configuration. This is
+//! the "everything except the GPU" cost — the work the Task Scheduler hides
+//! behind the user's labeling time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ve_features::ExtractorId;
+use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle};
+use vocalexplore::{FeatureSelectionPolicy, VocalExplore, VocalExploreConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    // Build a system that already has 50 labels and a trained model, so the
+    // measured call covers sample selection, prediction, and the pending-work
+    // check on a warm system (the work that is user-visible under VE-full).
+    let dataset = Dataset::scaled(DatasetName::Deer, 0.2, 9);
+    let config = VocalExploreConfig::for_dataset(&dataset, 9)
+        .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+        .with_extra_candidates(10);
+    let oracle = GroundTruthOracle::new(dataset.spec.task);
+    let mut system = VocalExplore::new(config);
+    for clip in dataset.train.videos() {
+        system.add_video(clip.clone());
+    }
+    for _ in 0..10 {
+        let batch = system.explore(5, 1.0, None);
+        for seg in &batch.segments {
+            let classes = oracle.label(&dataset.train, seg.vid, &seg.range);
+            system.add_label(seg.vid, seg.range, classes);
+        }
+    }
+
+    group.bench_function("explore_call_warm_system", |b| {
+        b.iter(|| black_box(system.explore(5, 1.0, None)))
+    });
+
+    group.bench_function("watch_call_with_predictions", |b| {
+        let vid = dataset.train.videos()[0].id;
+        b.iter(|| black_box(system.watch(vid, 0.0, 10.0, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks for the simulated Feature Manager: per-clip embedding
+//! generation (the in-process stand-in for `T_f`) and the lookup path the
+//! Model Manager takes on a cache hit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ve_features::{ExtractorId, FeatureSimulator};
+use ve_storage::StorageManager;
+use ve_vidsim::{Dataset, DatasetName, TimeRange};
+use vocalexplore::FeatureManager;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let dataset = Dataset::scaled(DatasetName::Deer, 0.2, 5);
+    let mut group = c.benchmark_group("feature_extraction");
+
+    for extractor in [ExtractorId::R3d, ExtractorId::Clip] {
+        let sim = FeatureSimulator::new(DatasetName::Deer, 9, 5);
+        let clip = dataset.train.videos()[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("extract_clip", extractor.to_string()),
+            &extractor,
+            |b, &e| b.iter(|| black_box(sim.extract_clip(e, &clip))),
+        );
+    }
+
+    // Cache hit path through the FeatureManager.
+    let sim = FeatureSimulator::new(DatasetName::Deer, 9, 5);
+    let fm = FeatureManager::new(sim, StorageManager::new());
+    let clip = &dataset.train.videos()[0];
+    fm.ensure_clip(ExtractorId::R3d, clip);
+    group.bench_function("feature_for_cached", |b| {
+        b.iter(|| {
+            black_box(fm.feature_for(
+                ExtractorId::R3d,
+                &dataset.train,
+                clip.id,
+                &TimeRange::new(3.0, 4.0),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_extraction);
+criterion_main!(benches);

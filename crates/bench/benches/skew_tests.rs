@@ -1,0 +1,32 @@
+//! Microbenchmarks for the skew-detection tests run by `VE-sample` after
+//! every labeling batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ve_stats::{frequency_test_p_value, SkewDetector, SkewTest};
+
+fn bench_skew_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skew_tests");
+    for &labels in &[25u64, 100, 500] {
+        // Zipf-ish counts over 9 classes scaled to the target label total.
+        let base = [40u64, 20, 12, 9, 7, 5, 4, 2, 1];
+        let total: u64 = base.iter().sum();
+        let counts: Vec<u64> = base.iter().map(|&c| c * labels / total).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("anderson_darling", labels),
+            &labels,
+            |b, _| {
+                let detector = SkewDetector::new(SkewTest::AndersonDarling { alpha: 0.001 });
+                b.iter(|| black_box(detector.p_value(&counts)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("frequency", labels), &labels, |b, _| {
+            b.iter(|| black_box(frequency_test_p_value(&counts, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew_tests);
+criterion_main!(benches);

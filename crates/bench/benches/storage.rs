@@ -1,0 +1,61 @@
+//! Microbenchmarks for the storage manager: label ingestion, per-class count
+//! queries (run after every batch by `VE-sample`), and snapshot round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ve_storage::{LabelRecord, LabelStore, StorageManager, VideoRecord};
+use ve_vidsim::{TimeRange, VideoId};
+
+fn filled_label_store(n: usize) -> LabelStore {
+    let mut store = LabelStore::new();
+    for i in 0..n {
+        store.add(LabelRecord {
+            vid: VideoId((i / 10) as u64),
+            range: TimeRange::new((i % 10) as f64, (i % 10) as f64 + 1.0),
+            classes: vec![i % 9],
+            iteration: (i / 5) as u32,
+        });
+    }
+    store
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("label_ingest", n), &n, |b, &n| {
+            b.iter(|| black_box(filled_label_store(n)))
+        });
+        let store = filled_label_store(n);
+        group.bench_with_input(BenchmarkId::new("class_counts", n), &n, |b, _| {
+            b.iter(|| black_box(store.class_counts(9)))
+        });
+    }
+
+    // Snapshot round-trip with metadata + labels.
+    let sm = StorageManager::new();
+    sm.with_metadata_mut(|m| {
+        for i in 0..500u64 {
+            m.insert(VideoRecord {
+                vid: VideoId(i),
+                path: format!("videos/{i}.mp4"),
+                duration: 10.0,
+                start_timestamp: i as f64,
+            });
+        }
+    });
+    sm.with_labels_mut(|l| {
+        for r in filled_label_store(500).records() {
+            l.add(r.clone());
+        }
+    });
+    group.bench_function("snapshot_encode", |b| b.iter(|| black_box(sm.snapshot())));
+    let bytes = sm.snapshot();
+    group.bench_function("snapshot_decode", |b| {
+        b.iter(|| black_box(StorageManager::from_snapshot(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks for model training and cross-validated feature evaluation
+//! (`T_m` and `T_e` tasks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use ve_ml::{cross_validate, CrossValConfig, SoftmaxModel, TrainConfig};
+
+fn blobs(n: usize, classes: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect())
+        .collect();
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        xs.push(
+            centers[c]
+                .iter()
+                .map(|&v| v + rng.gen::<f32>() - 0.5)
+                .collect(),
+        );
+        ys.push(c);
+    }
+    (xs, ys)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    for &labels in &[50usize, 150, 500] {
+        let (xs, ys) = blobs(labels, 9, 64, 3);
+        let cfg = TrainConfig {
+            epochs: 60,
+            ..TrainConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("softmax_fit", labels), &labels, |b, _| {
+            b.iter(|| black_box(SoftmaxModel::fit(&xs, &ys, 9, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("cv_3fold", labels), &labels, |b, _| {
+            let cv = CrossValConfig {
+                train: cfg,
+                ..CrossValConfig::default()
+            };
+            b.iter(|| black_box(cross_validate(&xs, &ys, 9, &cv)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

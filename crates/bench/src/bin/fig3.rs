@@ -1,0 +1,74 @@
+//! Figure 3 — F1 and `S_max` per sampling method across datasets.
+//!
+//! Compares the fixed acquisition functions (Random, Coreset, Cluster-Margin)
+//! with the adaptive policies (VE-sample, VE-sample (CM), Freq.) on every
+//! dataset, using the empirically best feature extractor per dataset as the
+//! paper does (Section 5.2). Reports the final macro F1 and the final label
+//! diversity `S_max` (lower = more diverse), plus the label count at which the
+//! adaptive policies switched to active learning.
+//!
+//! Expected shape: on the uniform datasets (K20, Bears) Random ties the
+//! active-learning functions; on the skewed datasets (Deer, K20 (skew),
+//! Charades, BDD) Cluster-Margin improves F1 and/or `S_max`; VE-sample (CM)
+//! tracks whichever is better; Freq. behaves like VE-sample (CM) but switches
+//! later.
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin fig3 [-- --full]
+//! ```
+
+use ve_bench::{best_extractor, print_header, print_row, sampling_variants, with_fixed_feature, with_sampling, Profile};
+use ve_stats::mean;
+use vocalexplore::prelude::*;
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Figure 3: sampling-method comparison on the best feature per dataset \
+         ({} iterations x {} seeds)\n",
+        profile.iterations, profile.seeds
+    );
+
+    for dataset in DatasetName::all() {
+        let feature = best_extractor(dataset);
+        println!("--- {dataset} (feature: {feature}) ---");
+        let widths = [16, 9, 9, 20];
+        print_header(&["Method", "F1", "S_max", "switch at label #"], &widths);
+        for (name, sampling) in sampling_variants() {
+            let mut switch_points = Vec::new();
+            let mut f1s = Vec::new();
+            let mut smaxes = Vec::new();
+            for seed in 0..profile.seeds {
+                let cfg = profile.session(dataset, seed * 101 + 7);
+                let cfg = with_fixed_feature(with_sampling(cfg, sampling), feature);
+                let outcome = ve_bench::run_session(cfg);
+                f1s.push(outcome.mean_f1_last(3));
+                smaxes.push(outcome.final_s_max());
+                if let Some(r) = outcome
+                    .records
+                    .iter()
+                    .find(|r| r.acquisition != AcquisitionKind::Random)
+                {
+                    switch_points.push(r.labels_total as f64);
+                }
+            }
+            let switch = if switch_points.is_empty() {
+                "-".to_string()
+            } else if switch_points.len() < profile.seeds as usize {
+                format!("{:.0} (some seeds never)", mean(&switch_points))
+            } else {
+                format!("{:.0}", mean(&switch_points))
+            };
+            print_row(
+                &[
+                    name.to_string(),
+                    format!("{:.3}", mean(&f1s)),
+                    format!("{:.2}", mean(&smaxes)),
+                    switch,
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 5 — median feature-selection step (with IQR) per dataset.
+//!
+//! Runs rising-bandit feature selection at horizons `T = 20` and `T = 50` and
+//! reports the median iteration at which the bandit converged to a single
+//! extractor, with the interquartile range across trials. Expected shape:
+//! `T = 20` converges faster than `T = 50`, and even at `T = 50` selection
+//! completes within roughly 30 steps.
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin fig5 [-- --full]
+//! ```
+
+use ve_bench::{print_header, print_row, Profile};
+use ve_stats::{iqr, median};
+use vocalexplore::prelude::*;
+use vocalexplore::FeatureSelectionPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+    let trials: u64 = if std::env::args().any(|a| a == "--full") { 20 } else { 8 };
+    println!(
+        "Figure 5: median feature-selection step with IQR ({} trials, C = 5, w = 5)\n",
+        trials
+    );
+
+    let widths = [12, 22, 22];
+    print_header(&["Dataset", "T = 20  median [IQR]", "T = 50  median [IQR]"], &widths);
+
+    for dataset in DatasetName::all() {
+        let mut cells = vec![dataset.to_string()];
+        for horizon in [20usize, 50] {
+            let mut steps = Vec::new();
+            for trial in 0..trials {
+                let mut cfg = profile.session(dataset, trial * 131 + 3);
+                cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Bandit(
+                    RisingBanditConfig {
+                        horizon,
+                        ..RisingBanditConfig::default()
+                    },
+                ));
+                let outcome = ve_bench::run_session(cfg);
+                if let Some(step) = outcome.feature_selected_at {
+                    steps.push(step as f64);
+                }
+            }
+            if steps.is_empty() {
+                cells.push("did not converge".to_string());
+            } else {
+                let (p25, p75) = iqr(&steps);
+                cells.push(format!("{:.0} [{:.0}, {:.0}]", median(&steps), p25, p75));
+            }
+        }
+        print_row(&cells, &widths);
+    }
+    println!("\nExpected shape: T = 20 converges no later than T = 50; both within ~30 steps.");
+}

@@ -1,0 +1,120 @@
+//! Figure 7 — model quality while feature selection runs (`VE-select`).
+//!
+//! Compares, per dataset, the F1 curve of full VOCALExplore (VE-sample (CM)
+//! sampling + rising-bandit feature selection) against:
+//! * `Best` — the empirically best fixed (sampling, feature) combination,
+//! * `Worst` — the worst combination excluding the Random feature,
+//! * `VE-sample (CM)-Best` — adaptive sampling on the best fixed feature.
+//!
+//! Expected shape: VE-select starts near the worst curve while it still has
+//! poor features among its candidates, then catches up to the best strategies
+//! within roughly 30 steps (an "S"-shaped curve).
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin fig7 [-- --full]
+//! ```
+
+use ve_al::VeSampleConfig;
+use ve_bench::{best_extractor, print_header, print_row, with_fixed_feature, with_sampling, Profile};
+use ve_stats::mean;
+use vocalexplore::prelude::*;
+use vocalexplore::SamplingPolicy;
+
+/// Averaged F1 at selected checkpoints (fractions of the session length).
+fn f1_checkpoints(profile: &Profile, cfg_builder: impl Fn(u64) -> SessionConfig) -> Vec<f64> {
+    let fractions = [0.1, 0.3, 0.5, 1.0];
+    let mut per_seed: Vec<Vec<f64>> = vec![Vec::new(); fractions.len()];
+    for seed in 0..profile.seeds {
+        let cfg = cfg_builder(seed * 101 + 7);
+        let outcome = ve_bench::run_session(cfg);
+        for (i, &frac) in fractions.iter().enumerate() {
+            let target = ((profile.iterations as f64 * frac).round() as usize).max(1);
+            // F1 at the latest evaluated iteration <= target.
+            let f1 = outcome
+                .records
+                .iter()
+                .filter(|r| r.iteration <= target)
+                .filter_map(|r| r.macro_f1)
+                .next_back()
+                .unwrap_or(0.0);
+            per_seed[i].push(f1);
+        }
+    }
+    per_seed.iter().map(|v| mean(v)).collect()
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Figure 7: F1 during feature selection, checkpoints at 10% / 30% / 50% / 100% of {} \
+         iterations ({} seeds)\n",
+        profile.iterations, profile.seeds
+    );
+
+    for dataset in DatasetName::all() {
+        let best_feat = best_extractor(dataset);
+        // The weakest pretrained feature (Random excluded), per the paper.
+        let worst_feat = ExtractorId::all()
+            .into_iter()
+            .filter(|e| *e != ExtractorId::Random)
+            .min_by(|a, b| {
+                ve_features::profiles::quality_for(dataset, *a)
+                    .partial_cmp(&ve_features::profiles::quality_for(dataset, *b))
+                    .unwrap()
+            })
+            .unwrap();
+
+        println!("--- {dataset} (best feature {best_feat}, worst feature {worst_feat}) ---");
+        let widths = [22, 9, 9, 9, 9];
+        print_header(&["Curve", "10%", "30%", "50%", "100%"], &widths);
+
+        let rows: Vec<(&str, Vec<f64>)> = vec![
+            (
+                "VE-select",
+                f1_checkpoints(&profile, |seed| profile.session(dataset, seed)),
+            ),
+            (
+                "VE-sample (CM)-Best",
+                f1_checkpoints(&profile, |seed| {
+                    with_fixed_feature(
+                        with_sampling(
+                            profile.session(dataset, seed),
+                            SamplingPolicy::VeSample(VeSampleConfig::cluster_margin()),
+                        ),
+                        best_feat,
+                    )
+                }),
+            ),
+            (
+                "Best (CM + best feat)",
+                f1_checkpoints(&profile, |seed| {
+                    with_fixed_feature(
+                        with_sampling(
+                            profile.session(dataset, seed),
+                            SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin),
+                        ),
+                        best_feat,
+                    )
+                }),
+            ),
+            (
+                "Worst (Rand + worst)",
+                f1_checkpoints(&profile, |seed| {
+                    with_fixed_feature(
+                        with_sampling(
+                            profile.session(dataset, seed),
+                            SamplingPolicy::Fixed(AcquisitionKind::Random),
+                        ),
+                        worst_feat,
+                    )
+                }),
+            ),
+        ];
+        for (name, checkpoints) in rows {
+            let mut cells = vec![name.to_string()];
+            cells.extend(checkpoints.iter().map(|f| format!("{f:.3}")));
+            print_row(&cells, &widths);
+        }
+        println!();
+    }
+}

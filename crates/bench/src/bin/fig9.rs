@@ -1,0 +1,87 @@
+//! Figure 9 — feature selection under label noise.
+//!
+//! Reruns the VE-select configuration (VE-sample (CM) sampling + rising
+//! bandit) with a noisy oracle that randomly corrupts 5 %, 10 %, or 20 % of
+//! labels, and compares the final macro F1 (and the correctness of the chosen
+//! extractor) against the noise-free run and the worst fixed combination.
+//!
+//! Expected shape: 5 % and 10 % noise barely change the F1; 20 % noise drops
+//! it but stays above the worst-performing feature/sampling combination.
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin fig9 [-- --full]
+//! ```
+
+use ve_bench::{correct_extractors, print_header, print_row, with_fixed_feature, with_sampling, Profile};
+use ve_stats::mean;
+use vocalexplore::prelude::*;
+use vocalexplore::SamplingPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Figure 9: VE-select under label noise ({} iterations x {} seeds)\n",
+        profile.iterations, profile.seeds
+    );
+
+    let noise_levels = [0.0, 0.05, 0.10, 0.20];
+    let widths = [12, 12, 12, 12, 12, 14];
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(noise_levels.iter().map(|n| format!("noise {:.0}%", n * 100.0)));
+    header.push("Worst combo".to_string());
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
+
+    for dataset in DatasetName::all() {
+        let mut cells = vec![dataset.to_string()];
+        let correct_set = correct_extractors(dataset);
+        for &noise in &noise_levels {
+            let mut f1s = Vec::new();
+            let mut correct = 0usize;
+            for seed in 0..profile.seeds {
+                let cfg = profile.session(dataset, seed * 101 + 7).with_noise(noise);
+                let outcome = ve_bench::run_session(cfg);
+                f1s.push(outcome.mean_f1_last(3));
+                if correct_set.contains(&outcome.final_extractor) {
+                    correct += 1;
+                }
+            }
+            cells.push(format!(
+                "{:.3} ({}/{})",
+                mean(&f1s),
+                correct,
+                profile.seeds
+            ));
+        }
+        // Worst combination: random sampling on the weakest pretrained feature.
+        let worst_feat = ExtractorId::all()
+            .into_iter()
+            .filter(|e| *e != ExtractorId::Random)
+            .min_by(|a, b| {
+                ve_features::profiles::quality_for(dataset, *a)
+                    .partial_cmp(&ve_features::profiles::quality_for(dataset, *b))
+                    .unwrap()
+            })
+            .unwrap();
+        let mut worst_f1s = Vec::new();
+        for seed in 0..profile.seeds {
+            let cfg = with_fixed_feature(
+                with_sampling(
+                    profile.session(dataset, seed * 101 + 7),
+                    SamplingPolicy::Fixed(AcquisitionKind::Random),
+                ),
+                worst_feat,
+            );
+            worst_f1s.push(ve_bench::run_session(cfg).mean_f1_last(3));
+        }
+        cells.push(format!("{:.3}", mean(&worst_f1s)));
+        print_row(&cells, &widths);
+    }
+    println!(
+        "\nCells show mean F1 with (number of seeds that selected a correct extractor).\n\
+         Expected shape: ≤10% noise ≈ no noise; 20% noise drops F1 but stays above the worst\n\
+         fixed combination."
+    );
+}

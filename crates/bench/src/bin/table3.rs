@@ -1,0 +1,46 @@
+//! Table 3 — candidate feature extractors.
+//!
+//! Prints each extractor's input type, architecture, pretraining corpus,
+//! embedding dimensionality, and throughput (10-second videos per second),
+//! plus the derived per-clip extraction latency the Task Scheduler's cost
+//! model uses.
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin table3
+//! ```
+
+use ve_bench::{print_header, print_row};
+use ve_features::{ExtractorId, InputType};
+
+fn main() {
+    println!("Table 3: Features used by VOCALExplore\n");
+    let widths = [14, 6, 12, 16, 5, 6, 16];
+    print_header(
+        &["Feature", "Type", "Architecture", "Pretrained", "Dim", "Tput.", "Secs / 10 s clip"],
+        &widths,
+    );
+    for e in ExtractorId::all() {
+        let spec = e.spec();
+        print_row(
+            &[
+                e.to_string(),
+                match spec.input {
+                    InputType::Video => "Video",
+                    InputType::Image => "Image",
+                }
+                .to_string(),
+                spec.architecture.to_string(),
+                spec.pretrained.unwrap_or("None").to_string(),
+                spec.dim.to_string(),
+                format!("{:.2}", spec.throughput_videos_per_sec),
+                format!("{:.3}", spec.extraction_seconds(10.0)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nThroughput is the number of 10-second videos processed per second while running two\n\
+         extraction tasks on the GPU (paper measurement); the last column is the per-clip cost\n\
+         the simulated Task Scheduler charges for one T_f task."
+    );
+}

@@ -1,0 +1,62 @@
+//! Table 4 — feature-selection correctness.
+//!
+//! For each dataset and each bandit horizon (`T = 20`, `T = 50`), runs the
+//! rising-bandit feature selection across several seeds and reports the
+//! fraction of runs that converged on a "correct" extractor (the per-dataset
+//! sets defined in Section 5.3: {R3D, MViT} for Deer, {MViT, CLIP,
+//! CLIP (Pooled)} for K20 and Bears, {MViT} for K20 (skew) and Charades,
+//! {CLIP, CLIP (Pooled)} for BDD).
+//!
+//! Expected shape: correctness ≥ ~0.9 everywhere except BDD, where the
+//! candidates are too close early on (the paper reports 0.50–0.69).
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin table4 [-- --full]
+//! ```
+
+use ve_bench::{correct_extractors, print_header, print_row, Profile};
+use vocalexplore::prelude::*;
+use vocalexplore::FeatureSelectionPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+    // Correctness needs more repetitions than the latency experiments.
+    let trials: u64 = if std::env::args().any(|a| a == "--full") { 20 } else { 8 };
+    println!(
+        "Table 4: feature-selection correctness ({} trials per cell, C = 5, w = 5)\n",
+        trials
+    );
+
+    let widths = [8, 10, 10, 10, 10, 10, 10];
+    let names: Vec<String> = DatasetName::all().iter().map(|d| d.to_string()).collect();
+    let mut header = vec!["T"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    print_header(&header, &widths);
+
+    for (label, horizon) in [("T = 20", 20usize), ("T = 50", 50usize)] {
+        let mut cells = vec![label.to_string()];
+        for dataset in DatasetName::all() {
+            let correct_set = correct_extractors(dataset);
+            let mut correct = 0usize;
+            for trial in 0..trials {
+                let mut cfg = profile.session(dataset, trial * 131 + 3);
+                cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Bandit(
+                    RisingBanditConfig {
+                        horizon,
+                        ..RisingBanditConfig::default()
+                    },
+                ));
+                let outcome = ve_bench::run_session(cfg);
+                if correct_set.contains(&outcome.final_extractor) {
+                    correct += 1;
+                }
+            }
+            cells.push(format!("{:.2}", correct as f64 / trials as f64));
+        }
+        print_row(&cells, &widths);
+    }
+    println!(
+        "\nCorrect sets: Deer {{R3D, MViT}}, K20 {{MViT, CLIP, CLIP (Pooled)}}, K20 (skew) {{MViT}},\n\
+         Charades {{MViT}}, Bears {{MViT, CLIP, CLIP (Pooled)}}, BDD {{CLIP, CLIP (Pooled)}}."
+    );
+}

@@ -1,0 +1,282 @@
+//! `ve-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section 5).
+//!
+//! Each binary under `src/bin/` reproduces one artifact:
+//!
+//! | binary   | paper artifact | what it prints |
+//! |----------|----------------|----------------|
+//! | `table2` | Table 2        | dataset inventory (classes, skew, corpus sizes) |
+//! | `table3` | Table 3        | feature extractors (type, architecture, dim, throughput) |
+//! | `fig2`   | Figure 2       | average F1 vs cumulative visible latency after 100 Explore steps |
+//! | `fig3`   | Figure 3       | F1 and `S_max` per iteration for each sampling method |
+//! | `fig4`   | Figure 4       | F1 per feature extractor (and Concat) per dataset |
+//! | `table4` | Table 4        | feature-selection correctness at `T = 20` and `T = 50` |
+//! | `fig5`   | Figure 5       | median feature-selection step (+ IQR) |
+//! | `fig6`   | Figure 6       | rising-bandit bound evolution on K20 |
+//! | `fig7`   | Figure 7       | F1 of VE-select vs Best / Worst / VE-sample-Best |
+//! | `fig8`   | Figure 8       | model quality and latency of the VE-variants |
+//! | `fig9`   | Figure 9       | feature selection under 5 / 10 / 20 % label noise |
+//!
+//! Every binary accepts `--full` to run at larger corpus scale, more
+//! iterations, and more seeds (closer to the paper's setup, at the cost of a
+//! longer runtime); the default "quick" profile finishes in seconds to a few
+//! minutes per figure and preserves the qualitative shape of every result.
+
+use vocalexplore::prelude::*;
+use vocalexplore::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
+
+/// Run-scale profile shared by the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Fraction of the paper's corpus sizes to generate.
+    pub scale: f64,
+    /// Number of `Explore` iterations per session.
+    pub iterations: usize,
+    /// Seeds (= independent repetitions) to average over.
+    pub seeds: u64,
+    /// Training epochs for the linear probes.
+    pub epochs: usize,
+    /// Evaluate F1 every this many iterations.
+    pub eval_every: usize,
+}
+
+impl Profile {
+    /// The quick profile (default).
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.3,
+            iterations: 60,
+            seeds: 3,
+            epochs: 60,
+            eval_every: 5,
+        }
+    }
+
+    /// The full profile (`--full`).
+    pub fn full() -> Self {
+        Self {
+            scale: 1.0,
+            iterations: 100,
+            seeds: 5,
+            epochs: 120,
+            eval_every: 5,
+        }
+    }
+
+    /// Chooses the profile from the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::quick()
+        }
+    }
+
+    /// Builds a session config for this profile.
+    ///
+    /// The two largest corpora are generated at a reduced fraction of the
+    /// profile scale (Charades: ×0.4, K20: ×0.6) so that sweeps over all six
+    /// datasets stay balanced in wall-clock time; the exploration dynamics
+    /// only depend on the first few hundred labeled segments, not the corpus
+    /// tail.
+    pub fn session(&self, dataset: DatasetName, seed: u64) -> SessionConfig {
+        let factor = match dataset {
+            DatasetName::Charades => 0.4,
+            DatasetName::K20 => 0.6,
+            _ => 1.0,
+        };
+        let mut cfg = SessionConfig::new(dataset, (self.scale * factor).min(1.0), seed)
+            .with_iterations(self.iterations)
+            .with_eval_every(self.eval_every);
+        cfg.system.train.epochs = self.epochs;
+        cfg
+    }
+}
+
+/// Convenience: run one session and return its outcome.
+pub fn run_session(cfg: SessionConfig) -> SessionOutcome {
+    SessionRunner::new(cfg).run()
+}
+
+/// Runs the same configuration across seeds and averages the final F1 and
+/// cumulative visible latency.
+pub fn run_averaged(
+    profile: &Profile,
+    dataset: DatasetName,
+    configure: impl Fn(SessionConfig) -> SessionConfig,
+) -> AveragedOutcome {
+    let mut f1 = Vec::new();
+    let mut latency = Vec::new();
+    let mut s_max = Vec::new();
+    let mut selected = Vec::new();
+    let mut selected_at = Vec::new();
+    for seed in 0..profile.seeds {
+        let cfg = configure(profile.session(dataset, seed * 101 + 7));
+        let outcome = run_session(cfg);
+        f1.push(outcome.mean_f1_last(3));
+        latency.push(outcome.cumulative_visible_latency());
+        s_max.push(outcome.final_s_max());
+        selected.push(outcome.final_extractor);
+        if let Some(step) = outcome.feature_selected_at {
+            selected_at.push(step as f64);
+        }
+    }
+    AveragedOutcome {
+        final_f1: ve_stats::mean(&f1),
+        final_f1_std: ve_stats::std_dev(&f1),
+        cumulative_visible_latency: ve_stats::mean(&latency),
+        final_s_max: ve_stats::mean(&s_max),
+        selected_extractors: selected,
+        median_selection_step: if selected_at.is_empty() {
+            None
+        } else {
+            Some(ve_stats::median(&selected_at))
+        },
+    }
+}
+
+/// Seed-averaged summary of a configuration.
+#[derive(Debug, Clone)]
+pub struct AveragedOutcome {
+    /// Mean (over seeds) of the final macro F1 (last 3 evaluations).
+    pub final_f1: f64,
+    /// Standard deviation of the final macro F1 across seeds.
+    pub final_f1_std: f64,
+    /// Mean cumulative visible latency in seconds.
+    pub cumulative_visible_latency: f64,
+    /// Mean final `S_max`.
+    pub final_s_max: f64,
+    /// The extractor each seed ended up using.
+    pub selected_extractors: Vec<ExtractorId>,
+    /// Median iteration at which the bandit converged (if it did).
+    pub median_selection_step: Option<f64>,
+}
+
+/// Named sampling-method variants used by Figures 2, 3, and 7.
+pub fn sampling_variants() -> Vec<(&'static str, SamplingPolicy)> {
+    vec![
+        ("Random", SamplingPolicy::Fixed(AcquisitionKind::Random)),
+        ("Coreset", SamplingPolicy::Fixed(AcquisitionKind::Coreset)),
+        (
+            "Cluster-Margin",
+            SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin),
+        ),
+        (
+            "VE-sample",
+            SamplingPolicy::VeSample(ve_al::VeSampleConfig::coreset()),
+        ),
+        (
+            "VE-sample (CM)",
+            SamplingPolicy::VeSample(ve_al::VeSampleConfig::cluster_margin()),
+        ),
+        (
+            "Freq.",
+            SamplingPolicy::VeSample(ve_al::VeSampleConfig::frequency(1.0)),
+        ),
+    ]
+}
+
+/// The empirically best fixed extractor per dataset (Section 5.2 uses these
+/// when comparing sampling methods on "the best feature").
+pub fn best_extractor(dataset: DatasetName) -> ExtractorId {
+    match dataset {
+        DatasetName::Deer => ExtractorId::R3d,
+        DatasetName::K20 => ExtractorId::ClipPooled,
+        DatasetName::K20Skew => ExtractorId::Mvit,
+        DatasetName::Charades => ExtractorId::Mvit,
+        DatasetName::Bears => ExtractorId::ClipPooled,
+        DatasetName::Bdd => ExtractorId::Clip,
+    }
+}
+
+/// The extractors the paper accepts as "correct" per dataset (Table 4).
+pub fn correct_extractors(dataset: DatasetName) -> Vec<ExtractorId> {
+    ve_features::profiles::correct_extractors(dataset)
+}
+
+/// Applies a fixed feature extractor to a session config.
+pub fn with_fixed_feature(mut cfg: SessionConfig, extractor: ExtractorId) -> SessionConfig {
+    cfg.system = cfg
+        .system
+        .with_feature_selection(FeatureSelectionPolicy::Fixed(extractor));
+    cfg
+}
+
+/// Applies a sampling policy to a session config.
+pub fn with_sampling(mut cfg: SessionConfig, sampling: SamplingPolicy) -> SessionConfig {
+    cfg.system = cfg.system.with_sampling(sampling);
+    cfg
+}
+
+/// Applies a scheduling strategy.
+pub fn with_strategy(mut cfg: SessionConfig, strategy: SchedulerStrategy) -> SessionConfig {
+    cfg.system = cfg.system.with_strategy(strategy);
+    cfg
+}
+
+/// Applies a system-config transformation.
+pub fn with_system(
+    mut cfg: SessionConfig,
+    f: impl FnOnce(VocalExploreConfig) -> VocalExploreConfig,
+) -> SessionConfig {
+    cfg.system = f(cfg.system);
+    cfg
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect();
+    println!("| {} |", row.join(" | "));
+}
+
+/// Prints a Markdown-style table header with separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ() {
+        let q = Profile::quick();
+        let f = Profile::full();
+        assert!(f.scale > q.scale);
+        assert!(f.iterations >= q.iterations);
+        assert!(f.seeds >= q.seeds);
+    }
+
+    #[test]
+    fn best_extractor_is_in_the_correct_set() {
+        for d in DatasetName::all() {
+            assert!(
+                correct_extractors(d).contains(&best_extractor(d)),
+                "best extractor for {d} must be a correct choice"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_variants_cover_the_figure3_legend() {
+        let names: Vec<&str> = sampling_variants().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["Random", "Coreset", "Cluster-Margin", "VE-sample", "VE-sample (CM)", "Freq."]
+        );
+    }
+
+    #[test]
+    fn session_builder_applies_profile() {
+        let p = Profile::quick();
+        let cfg = p.session(DatasetName::Deer, 1);
+        assert_eq!(cfg.iterations, p.iterations);
+        assert_eq!(cfg.system.train.epochs, p.epochs);
+    }
+}

@@ -1,0 +1,641 @@
+//! The Active Learning Manager (ALM, Section 3).
+//!
+//! The ALM owns the two selection problems VOCALExplore solves on the fly:
+//!
+//! 1. **Acquisition-function selection** — the [`ve_al::VeSample`] policy
+//!    (or a fixed baseline function) decides whether the next batch is chosen
+//!    by cheap random sampling or by an active-learning function, and
+//!    [`ActiveLearningManager::select_segments`] executes that choice over
+//!    the unlabeled portion of the corpus.
+//! 2. **Feature-extractor selection** — a [`ve_bandit::RisingBandit`] over
+//!    the candidate extractors, fed with cross-validated macro F1 after each
+//!    labeling iteration, eliminates extractors until one remains.
+
+use crate::config::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
+use crate::feature_manager::FeatureManager;
+use crate::model_manager::ModelManager;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ve_al::{
+    cluster_margin_selection, coreset_selection, random_selection, uncertainty_selection,
+    AcquisitionKind, ClusterMarginConfig, VeSample,
+};
+use ve_bandit::{RisingBandit, RisingBanditConfig};
+use ve_features::ExtractorId;
+use ve_storage::{LabelRecord, LabelStore};
+use ve_vidsim::{ClassId, TimeRange, VideoCorpus, VideoId};
+
+/// A candidate segment assembled by the ALM before selection.
+#[derive(Debug, Clone)]
+struct Candidate {
+    vid: VideoId,
+    range: TimeRange,
+    features: Vec<f32>,
+}
+
+/// Statistics about the most recent selection (used for latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionStats {
+    /// Acquisition function that produced the batch.
+    pub acquisition: AcquisitionKind,
+    /// Number of sampled videos whose features had to be extracted to serve
+    /// the current call (0 under `VE-full`, where eager extraction already
+    /// covered them).
+    pub videos_extracted_for_call: usize,
+    /// GPU seconds spent on those extractions.
+    pub extraction_secs: f64,
+}
+
+/// The Active Learning Manager.
+pub struct ActiveLearningManager {
+    config: VocalExploreConfig,
+    sampling: SamplingState,
+    features: FeatureState,
+    rng: StdRng,
+}
+
+enum SamplingState {
+    Fixed(AcquisitionKind),
+    VeSample(VeSample),
+}
+
+enum FeatureState {
+    Fixed(ExtractorId),
+    Bandit {
+        bandit: RisingBandit<ExtractorId>,
+        /// Last observed CV score per extractor (used to pick the extractor
+        /// for predictions before the bandit converges).
+        last_scores: Vec<(ExtractorId, f64)>,
+    },
+}
+
+impl ActiveLearningManager {
+    /// Creates an ALM from the system configuration.
+    pub fn new(config: VocalExploreConfig) -> Self {
+        let sampling = match config.sampling {
+            SamplingPolicy::Fixed(kind) => SamplingState::Fixed(kind),
+            SamplingPolicy::VeSample(cfg) => SamplingState::VeSample(VeSample::new(cfg)),
+        };
+        let features = match config.feature_selection {
+            FeatureSelectionPolicy::Fixed(e) => FeatureState::Fixed(e),
+            FeatureSelectionPolicy::Bandit(cfg) => FeatureState::Bandit {
+                bandit: RisingBandit::new(ExtractorId::all().to_vec(), cfg),
+                last_scores: Vec::new(),
+            },
+        };
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xA11C_E5ED);
+        Self {
+            config,
+            sampling,
+            features,
+            rng,
+        }
+    }
+
+    /// Creates an ALM with a specific bandit configuration (used by the
+    /// feature-selection experiments).
+    pub fn with_bandit(config: VocalExploreConfig, bandit: RisingBanditConfig) -> Self {
+        let mut cfg = config;
+        cfg.feature_selection = FeatureSelectionPolicy::Bandit(bandit);
+        Self::new(cfg)
+    }
+
+    /// The acquisition function the next untargeted `Explore` call will use.
+    pub fn current_acquisition(&self) -> AcquisitionKind {
+        match &self.sampling {
+            SamplingState::Fixed(kind) => *kind,
+            SamplingState::VeSample(policy) => policy.current(),
+        }
+    }
+
+    /// Whether `VE-sample` has switched to active learning.
+    pub fn has_switched_to_active(&self) -> bool {
+        match &self.sampling {
+            SamplingState::Fixed(kind) => *kind != AcquisitionKind::Random,
+            SamplingState::VeSample(policy) => policy.has_switched(),
+        }
+    }
+
+    /// Candidate extractors still under consideration.
+    pub fn active_extractors(&self) -> Vec<ExtractorId> {
+        match &self.features {
+            FeatureState::Fixed(e) => vec![*e],
+            FeatureState::Bandit { bandit, .. } => bandit.active_arms(),
+        }
+    }
+
+    /// The extractor the ALM has converged on, if selection finished.
+    pub fn selected_extractor(&self) -> Option<ExtractorId> {
+        match &self.features {
+            FeatureState::Fixed(e) => Some(*e),
+            FeatureState::Bandit { bandit, .. } => bandit.selected(),
+        }
+    }
+
+    /// The extractor used for predictions and active-learning features *right
+    /// now*: the selected one once converged, otherwise the alive extractor
+    /// with the best smoothed CV score so far (falling back to MViT before
+    /// any score exists).
+    pub fn current_extractor(&self) -> ExtractorId {
+        match &self.features {
+            FeatureState::Fixed(e) => *e,
+            FeatureState::Bandit { bandit, last_scores } => {
+                if let Some(sel) = bandit.selected() {
+                    return sel;
+                }
+                let alive = bandit.active_arms();
+                last_scores
+                    .iter()
+                    .filter(|(e, _)| alive.contains(e))
+                    .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite score"))
+                    .map(|(e, _)| *e)
+                    .unwrap_or(ExtractorId::Mvit)
+            }
+        }
+    }
+
+    /// Bandit snapshots (bounds per arm) for diagnostics, or `None` when the
+    /// feature policy is fixed.
+    pub fn bandit_snapshots(&self) -> Option<Vec<ve_bandit::ArmSnapshot<ExtractorId>>> {
+        match &self.features {
+            FeatureState::Bandit { bandit, .. } => Some(bandit.snapshots()),
+            _ => None,
+        }
+    }
+
+    /// Observes the per-class label counts after a batch and updates the
+    /// acquisition policy. Returns the function the *next* batch will use.
+    pub fn observe_labels(&mut self, class_counts: &[u64]) -> AcquisitionKind {
+        match &mut self.sampling {
+            SamplingState::Fixed(kind) => *kind,
+            SamplingState::VeSample(policy) => policy.observe(class_counts),
+        }
+    }
+
+    /// Runs one feature-evaluation step: computes the CV score of every
+    /// extractor still alive and feeds the rising bandit. Returns the scores
+    /// that were evaluated (one `T_e` task each).
+    pub fn feature_evaluation_step(
+        &mut self,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        mm: &ModelManager,
+        labels: &[LabelRecord],
+    ) -> Vec<(ExtractorId, f64)> {
+        let FeatureState::Bandit { bandit, last_scores } = &mut self.features else {
+            return Vec::new();
+        };
+        if bandit.is_converged() {
+            return Vec::new();
+        }
+        let mut scores = Vec::new();
+        for extractor in bandit.active_arms() {
+            if let Some(score) = mm.evaluate_cv(extractor, corpus, fm, labels) {
+                scores.push((extractor, score));
+            }
+        }
+        if !scores.is_empty() {
+            bandit.observe(&scores);
+            *last_scores = scores.clone();
+        }
+        scores
+    }
+
+    /// Selects `budget` unlabeled segments of duration `clip_len` for the
+    /// user to label, together with selection statistics for latency
+    /// accounting.
+    ///
+    /// * `target_label` — when the user called `Explore(label = a)`, the
+    ///   rare-class uncertainty sampler is used for that class.
+    /// * `candidate_pool` — the videos whose features may be used for active
+    ///   learning without new extraction (under `VE-full` this is the eagerly
+    ///   extracted set; under the lazy strategies the ALM extends it by `X`
+    ///   videos on the spot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_segments(
+        &mut self,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        mm: &ModelManager,
+        labels: &LabelStore,
+        budget: usize,
+        clip_len: f64,
+        target_label: Option<ClassId>,
+        candidate_pool: &[VideoId],
+    ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
+        let acquisition = match target_label {
+            Some(_) => AcquisitionKind::Uncertainty,
+            None => self.current_acquisition(),
+        };
+        match acquisition {
+            AcquisitionKind::Random => {
+                let picks = self.random_segments(corpus, labels, budget, clip_len);
+                (
+                    picks,
+                    SelectionStats {
+                        acquisition,
+                        videos_extracted_for_call: 0,
+                        extraction_secs: 0.0,
+                    },
+                )
+            }
+            _ => self.active_segments(
+                corpus,
+                fm,
+                mm,
+                labels,
+                budget,
+                clip_len,
+                acquisition,
+                target_label,
+                candidate_pool,
+            ),
+        }
+    }
+
+    /// Random sampling over unlabeled windows (metadata only, no features).
+    fn random_segments(
+        &mut self,
+        corpus: &VideoCorpus,
+        labels: &LabelStore,
+        budget: usize,
+        clip_len: f64,
+    ) -> Vec<(VideoId, TimeRange)> {
+        let mut windows = unlabeled_windows(corpus, labels, clip_len);
+        windows.shuffle(&mut self.rng);
+        windows.truncate(budget);
+        windows
+    }
+
+    /// Active-learning selection over a feature-bearing candidate pool.
+    #[allow(clippy::too_many_arguments)]
+    fn active_segments(
+        &mut self,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        mm: &ModelManager,
+        labels: &LabelStore,
+        budget: usize,
+        clip_len: f64,
+        acquisition: AcquisitionKind,
+        target_label: Option<ClassId>,
+        candidate_pool: &[VideoId],
+    ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
+        let extractor = self.current_extractor();
+
+        // Assemble the candidate videos: start from the provided pool and, if
+        // it is too small (lazy strategies), extract features from X more
+        // randomly chosen unlabeled videos.
+        let mut pool: Vec<VideoId> = candidate_pool
+            .iter()
+            .copied()
+            .filter(|vid| corpus.get(*vid).is_some())
+            .collect();
+        let mut extraction_secs = 0.0;
+        let mut extracted_videos = 0;
+        let desired = budget + self.config.extra_candidates_x;
+        if pool.len() < desired {
+            let mut unexplored: Vec<VideoId> = corpus
+                .ids()
+                .into_iter()
+                .filter(|vid| !pool.contains(vid))
+                .collect();
+            unexplored.shuffle(&mut self.rng);
+            for vid in unexplored.into_iter().take(desired - pool.len()) {
+                if let Some(clip) = corpus.get(vid) {
+                    let cost = fm.ensure_clip(extractor, clip);
+                    if cost > 0.0 {
+                        extracted_videos += 1;
+                        extraction_secs += cost;
+                    }
+                    pool.push(vid);
+                }
+            }
+        }
+
+        // Candidate windows = unlabeled windows of the pooled videos.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for vid in &pool {
+            let Some(clip) = corpus.get(*vid) else { continue };
+            let windows = clip.num_windows(clip_len);
+            for w in 0..windows {
+                let range = TimeRange::new(w as f64 * clip_len, (w + 1) as f64 * clip_len);
+                if labels.is_labeled(*vid, &range) {
+                    continue;
+                }
+                if let Some(fv) = fm.feature_for(extractor, corpus, *vid, &range) {
+                    candidates.push(Candidate {
+                        vid: *vid,
+                        range,
+                        features: fv.data,
+                    });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            let picks = self.random_segments(corpus, labels, budget, clip_len);
+            return (
+                picks,
+                SelectionStats {
+                    acquisition: AcquisitionKind::Random,
+                    videos_extracted_for_call: extracted_videos,
+                    extraction_secs,
+                },
+            );
+        }
+        // Cap the candidate-window count so per-call work stays bounded.
+        if candidates.len() > 2_000 {
+            candidates.shuffle(&mut self.rng);
+            candidates.truncate(2_000);
+        }
+
+        let feature_rows: Vec<Vec<f32>> = candidates.iter().map(|c| c.features.clone()).collect();
+        let indices = match acquisition {
+            AcquisitionKind::Coreset => {
+                // Labeled features anchor the coverage set.
+                let labeled_feats: Vec<Vec<f32>> = labels
+                    .records()
+                    .iter()
+                    .filter_map(|r| fm.feature_for(extractor, corpus, r.vid, &r.range))
+                    .map(|fv| fv.data)
+                    .collect();
+                coreset_selection(&feature_rows, &labeled_feats, budget)
+            }
+            AcquisitionKind::ClusterMargin => {
+                let probs = mm.predict_proba_batch(extractor, &feature_rows);
+                cluster_margin_selection(
+                    &feature_rows,
+                    &probs,
+                    budget,
+                    &ClusterMarginConfig::default(),
+                )
+            }
+            AcquisitionKind::Uncertainty => {
+                let class = target_label.expect("uncertainty sampling needs a target label");
+                let probs = mm.predict_proba_batch(extractor, &feature_rows);
+                let class_probs: Vec<f32> = if probs.is_empty() {
+                    vec![0.5; feature_rows.len()]
+                } else {
+                    probs.iter().map(|p| p.get(class).copied().unwrap_or(0.0)).collect()
+                };
+                let (n_pos, n_neg) = labels.positive_negative_counts(class);
+                uncertainty_selection(&class_probs, n_pos, n_neg, budget)
+            }
+            AcquisitionKind::Random => {
+                random_selection(feature_rows.len(), budget, &mut self.rng)
+            }
+        };
+
+        let picks = indices
+            .into_iter()
+            .map(|i| (candidates[i].vid, candidates[i].range))
+            .collect();
+        (
+            picks,
+            SelectionStats {
+                acquisition,
+                videos_extracted_for_call: extracted_videos,
+                extraction_secs,
+            },
+        )
+    }
+}
+
+/// All unlabeled `(vid, window)` pairs in the corpus.
+fn unlabeled_windows(
+    corpus: &VideoCorpus,
+    labels: &LabelStore,
+    clip_len: f64,
+) -> Vec<(VideoId, TimeRange)> {
+    let mut out = Vec::new();
+    for clip in corpus.videos() {
+        for w in 0..clip.num_windows(clip_len) {
+            let range = TimeRange::new(w as f64 * clip_len, (w + 1) as f64 * clip_len);
+            if !labels.is_labeled(clip.id, &range) {
+                out.push((clip.id, range));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_features::FeatureSimulator;
+    use ve_storage::StorageManager;
+    use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle, TaskKind};
+
+    struct Fixture {
+        dataset: Dataset,
+        fm: FeatureManager,
+        mm: ModelManager,
+        labels: LabelStore,
+        config: VocalExploreConfig,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let dataset = Dataset::scaled(DatasetName::Deer, 0.1, seed);
+        let sim = FeatureSimulator::new(DatasetName::Deer, 9, seed);
+        let fm = FeatureManager::new(sim, StorageManager::new());
+        let config = VocalExploreConfig::for_dataset(&dataset, seed).with_extra_candidates(10);
+        let mm = ModelManager::new(config.clone());
+        Fixture {
+            dataset,
+            fm,
+            mm,
+            labels: LabelStore::new(),
+            config,
+        }
+    }
+
+    fn label_some(fx: &mut Fixture, n: usize) {
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        for clip in fx.dataset.train.videos().iter().take(n) {
+            let range = TimeRange::new(0.0, 1.0);
+            fx.labels.add(LabelRecord {
+                vid: clip.id,
+                range,
+                classes: oracle.label(&fx.dataset.train, clip.id, &range),
+                iteration: 0,
+            });
+        }
+    }
+
+    #[test]
+    fn starts_with_random_and_selects_unlabeled_segments() {
+        let fx = fixture(1);
+        let mut alm = ActiveLearningManager::new(fx.config.clone());
+        assert_eq!(alm.current_acquisition(), AcquisitionKind::Random);
+        let (picks, stats) = alm.select_segments(
+            &fx.dataset.train,
+            &fx.fm,
+            &fx.mm,
+            &fx.labels,
+            5,
+            1.0,
+            None,
+            &[],
+        );
+        assert_eq!(picks.len(), 5);
+        assert_eq!(stats.acquisition, AcquisitionKind::Random);
+        assert_eq!(stats.extraction_secs, 0.0, "random sampling needs no features");
+        // Segments must be unlabeled and distinct.
+        let unique: std::collections::HashSet<_> =
+            picks.iter().map(|(v, r)| (*v, (r.start * 10.0) as i64)).collect();
+        assert_eq!(unique.len(), picks.len());
+        for (vid, range) in &picks {
+            assert!(!fx.labels.is_labeled(*vid, range));
+        }
+    }
+
+    #[test]
+    fn switches_to_active_learning_on_skewed_labels() {
+        let fx = fixture(2);
+        let mut alm = ActiveLearningManager::new(fx.config.clone());
+        // Feed heavily skewed label counts (Deer-like).
+        for step in 1..=10u64 {
+            alm.observe_labels(&[12 * step, step, 1, 0, 0, 0, 0, 0, 0]);
+        }
+        assert!(alm.has_switched_to_active());
+        assert_eq!(alm.current_acquisition(), AcquisitionKind::ClusterMargin);
+    }
+
+    #[test]
+    fn active_selection_extracts_extra_candidates_when_pool_is_small() {
+        let mut fx = fixture(3);
+        label_some(&mut fx, 30);
+        fx.mm
+            .train(ExtractorId::Mvit, &fx.dataset.train, &fx.fm, fx.labels.records(), 0, None);
+        let mut alm = ActiveLearningManager::new(
+            fx.config
+                .clone()
+                .with_sampling(crate::config::SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin)),
+        );
+        let (picks, stats) = alm.select_segments(
+            &fx.dataset.train,
+            &fx.fm,
+            &fx.mm,
+            &fx.labels,
+            5,
+            1.0,
+            None,
+            &[],
+        );
+        assert_eq!(picks.len(), 5);
+        assert_eq!(stats.acquisition, AcquisitionKind::ClusterMargin);
+        assert!(stats.videos_extracted_for_call > 0, "lazy AL must extract X videos");
+        assert!(stats.extraction_secs > 0.0);
+    }
+
+    #[test]
+    fn ve_full_pool_avoids_new_extraction() {
+        let mut fx = fixture(4);
+        label_some(&mut fx, 30);
+        // Pre-extract a pool of videos (as eager extraction would).
+        let extractor = ExtractorId::Mvit;
+        let pool: Vec<VideoId> = fx
+            .dataset
+            .train
+            .videos()
+            .iter()
+            .skip(30)
+            .take(20)
+            .map(|c| {
+                fx.fm.ensure_clip(extractor, c);
+                c.id
+            })
+            .collect();
+        let mut cfg = fx.config.clone();
+        cfg.extra_candidates_x = 0;
+        let mut alm = ActiveLearningManager::new(
+            cfg.with_sampling(crate::config::SamplingPolicy::Fixed(AcquisitionKind::Coreset))
+                .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(extractor)),
+        );
+        let (picks, stats) = alm.select_segments(
+            &fx.dataset.train,
+            &fx.fm,
+            &fx.mm,
+            &fx.labels,
+            5,
+            1.0,
+            None,
+            &pool,
+        );
+        assert_eq!(picks.len(), 5);
+        assert_eq!(stats.videos_extracted_for_call, 0);
+        assert_eq!(stats.extraction_secs, 0.0);
+        // Picks must come from the pool.
+        for (vid, _) in &picks {
+            assert!(pool.contains(vid));
+        }
+    }
+
+    #[test]
+    fn feature_evaluation_feeds_the_bandit_and_converges() {
+        let mut fx = fixture(5);
+        label_some(&mut fx, 80);
+        let mut alm = ActiveLearningManager::new(fx.config.clone());
+        assert_eq!(alm.active_extractors().len(), 5);
+        // Run enough evaluation steps for warm-up plus elimination.
+        let mut converged_at = None;
+        for step in 0..60 {
+            let scores = alm.feature_evaluation_step(
+                &fx.dataset.train,
+                &fx.fm,
+                &fx.mm,
+                fx.labels.records(),
+            );
+            if step == 0 {
+                assert_eq!(scores.len(), 5, "all extractors evaluated initially");
+            }
+            if alm.selected_extractor().is_some() {
+                converged_at = Some(step);
+                break;
+            }
+        }
+        let selected = alm.selected_extractor().expect("bandit should converge");
+        assert!(
+            matches!(selected, ExtractorId::R3d | ExtractorId::Mvit),
+            "Deer should select a video model, got {selected}"
+        );
+        assert!(converged_at.unwrap() <= 50);
+        assert_eq!(alm.current_extractor(), selected);
+    }
+
+    #[test]
+    fn targeted_explore_uses_uncertainty_sampling() {
+        let mut fx = fixture(6);
+        label_some(&mut fx, 30);
+        fx.mm
+            .train(ExtractorId::Mvit, &fx.dataset.train, &fx.fm, fx.labels.records(), 0, None);
+        let mut alm = ActiveLearningManager::new(fx.config.clone());
+        let (picks, stats) = alm.select_segments(
+            &fx.dataset.train,
+            &fx.fm,
+            &fx.mm,
+            &fx.labels,
+            5,
+            1.0,
+            Some(2),
+            &[],
+        );
+        assert_eq!(stats.acquisition, AcquisitionKind::Uncertainty);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn fixed_feature_policy_reports_single_extractor() {
+        let fx = fixture(7);
+        let alm = ActiveLearningManager::new(
+            fx.config
+                .clone()
+                .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(ExtractorId::Clip)),
+        );
+        assert_eq!(alm.active_extractors(), vec![ExtractorId::Clip]);
+        assert_eq!(alm.selected_extractor(), Some(ExtractorId::Clip));
+        assert_eq!(alm.current_extractor(), ExtractorId::Clip);
+        assert!(alm.bandit_snapshots().is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! User-facing API value types (Table 1).
+
+use ve_vidsim::{ClassId, TimeRange, VideoId};
+
+/// A predicted activity with its probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class.
+    pub class: ClassId,
+    /// Model probability (softmax probability for single-label tasks,
+    /// per-class sigmoid probability for multi-label tasks).
+    pub probability: f32,
+}
+
+/// A video segment returned by `Watch` or `Explore`, annotated with the
+/// current model's predictions (empty until enough labels exist to train a
+/// model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRef {
+    /// The video the segment belongs to.
+    pub vid: VideoId,
+    /// Time span of the segment.
+    pub range: TimeRange,
+    /// Predicted labels, sorted by decreasing probability.
+    pub predictions: Vec<Prediction>,
+}
+
+impl SegmentRef {
+    /// The most likely predicted class, if any prediction is available.
+    pub fn top_prediction(&self) -> Option<&Prediction> {
+        self.predictions.first()
+    }
+}
+
+/// The result of one `Explore` (or `Watch`) call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExploreBatch {
+    /// Segments for the user to view and label.
+    pub segments: Vec<SegmentRef>,
+    /// Which acquisition function produced the batch (for diagnostics).
+    pub acquisition: Option<ve_al::AcquisitionKind>,
+}
+
+impl ExploreBatch {
+    /// Number of segments in the batch.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_prediction_ordering() {
+        let seg = SegmentRef {
+            vid: VideoId(1),
+            range: TimeRange::new(0.0, 1.0),
+            predictions: vec![
+                Prediction { class: 2, probability: 0.7 },
+                Prediction { class: 0, probability: 0.2 },
+            ],
+        };
+        assert_eq!(seg.top_prediction().unwrap().class, 2);
+        let empty = SegmentRef {
+            vid: VideoId(1),
+            range: TimeRange::new(0.0, 1.0),
+            predictions: vec![],
+        };
+        assert!(empty.top_prediction().is_none());
+    }
+
+    #[test]
+    fn batch_len() {
+        let batch = ExploreBatch::default();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The Feature Manager (FM).
+//!
+//! "The FM returns feature representations of video segments. These feature
+//! vectors are used by the ALM to decide which video segments the user should
+//! label as well as by the Model Manager to perform training and inference"
+//! (Section 2.3). The FM extracts features lazily — only for the videos a
+//! caller asks about — caches everything in the storage manager, and keeps a
+//! running total of the simulated GPU seconds it has spent, which the latency
+//! accounting uses.
+
+use parking_lot::Mutex;
+use ve_features::{ExtractorId, FeatureSimulator, FeatureVector};
+use ve_storage::StorageManager;
+use ve_vidsim::{TimeRange, VideoClip, VideoCorpus, VideoId};
+
+/// Feature Manager: lazy, cached feature extraction with cost accounting.
+pub struct FeatureManager {
+    simulator: FeatureSimulator,
+    storage: StorageManager,
+    gpu_seconds: Mutex<f64>,
+}
+
+impl FeatureManager {
+    /// Creates a feature manager backed by the given simulator and storage.
+    pub fn new(simulator: FeatureSimulator, storage: StorageManager) -> Self {
+        Self {
+            simulator,
+            storage,
+            gpu_seconds: Mutex::new(0.0),
+        }
+    }
+
+    /// The simulator in use (exposes extractor specs and profiles).
+    pub fn simulator(&self) -> &FeatureSimulator {
+        &self.simulator
+    }
+
+    /// Total simulated GPU seconds spent on extraction so far.
+    pub fn gpu_seconds_spent(&self) -> f64 {
+        *self.gpu_seconds.lock()
+    }
+
+    /// Whether features for `(extractor, vid)` are already cached.
+    pub fn has_features(&self, extractor: ExtractorId, vid: VideoId) -> bool {
+        self.storage.with_features(|f| f.contains(extractor, vid))
+    }
+
+    /// Videos with cached features for the given extractor.
+    pub fn videos_with_features(&self, extractor: ExtractorId) -> Vec<VideoId> {
+        self.storage
+            .with_features(|f| f.videos_with_features(extractor))
+    }
+
+    /// Ensures features for one whole clip are extracted (no-op if cached).
+    /// Returns the GPU seconds this call actually spent (0 on a cache hit).
+    pub fn ensure_clip(&self, extractor: ExtractorId, clip: &VideoClip) -> f64 {
+        if self.has_features(extractor, clip.id) {
+            return 0.0;
+        }
+        let vectors = self.simulator.extract_clip(extractor, clip);
+        let cost = self.simulator.extraction_seconds(extractor, clip);
+        self.storage
+            .with_features_mut(|f| f.put(extractor, clip.id, vectors));
+        *self.gpu_seconds.lock() += cost;
+        cost
+    }
+
+    /// Ensures features for a set of clips; returns total GPU seconds spent
+    /// (cache hits are free).
+    pub fn ensure_clips(&self, extractor: ExtractorId, clips: &[&VideoClip]) -> f64 {
+        clips.iter().map(|c| self.ensure_clip(extractor, c)).sum()
+    }
+
+    /// Returns the cached feature vector covering `range` within `vid`,
+    /// extracting the whole clip on demand if necessary. Returns `None` only
+    /// when the video is unknown to the corpus.
+    pub fn feature_for(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        vid: VideoId,
+        range: &TimeRange,
+    ) -> Option<FeatureVector> {
+        let clip = corpus.get(vid)?;
+        self.ensure_clip(extractor, clip);
+        self.storage.with_features(|f| {
+            f.get(extractor, vid).and_then(|vectors| {
+                vectors
+                    .iter()
+                    .find(|v| v.range.overlaps(range))
+                    .or_else(|| vectors.last())
+                    .cloned()
+            })
+        })
+    }
+
+    /// All cached vectors of a video for an extractor (extracting on demand).
+    pub fn clip_features(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        vid: VideoId,
+    ) -> Vec<FeatureVector> {
+        let Some(clip) = corpus.get(vid) else {
+            return Vec::new();
+        };
+        self.ensure_clip(extractor, clip);
+        self.storage
+            .with_features(|f| f.get(extractor, vid).map(|v| v.to_vec()).unwrap_or_default())
+    }
+
+    /// The per-clip extraction cost for an extractor (used by the scheduler's
+    /// cost accounting even when the extraction itself is skipped).
+    pub fn extraction_cost(&self, extractor: ExtractorId, clip: &VideoClip) -> f64 {
+        self.simulator.extraction_seconds(extractor, clip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_vidsim::{Dataset, DatasetName};
+
+    fn setup() -> (Dataset, FeatureManager) {
+        let ds = Dataset::scaled(DatasetName::Deer, 0.05, 5);
+        let sim = FeatureSimulator::new(DatasetName::Deer, 9, 5);
+        let fm = FeatureManager::new(sim, StorageManager::new());
+        (ds, fm)
+    }
+
+    #[test]
+    fn extraction_is_cached_and_costed_once() {
+        let (ds, fm) = setup();
+        let clip = &ds.train.videos()[0];
+        assert!(!fm.has_features(ExtractorId::R3d, clip.id));
+        let c1 = fm.ensure_clip(ExtractorId::R3d, clip);
+        assert!(c1 > 0.0);
+        let c2 = fm.ensure_clip(ExtractorId::R3d, clip);
+        assert_eq!(c2, 0.0, "second extraction must be a cache hit");
+        assert!((fm.gpu_seconds_spent() - c1).abs() < 1e-12);
+        assert!(fm.has_features(ExtractorId::R3d, clip.id));
+    }
+
+    #[test]
+    fn feature_for_returns_window_overlapping_vector() {
+        let (ds, fm) = setup();
+        let clip = &ds.train.videos()[0];
+        let fv = fm
+            .feature_for(ExtractorId::Mvit, &ds.train, clip.id, &TimeRange::new(3.2, 4.2))
+            .unwrap();
+        assert!(fv.range.overlaps(&TimeRange::new(3.2, 4.2)));
+        assert_eq!(fv.vid, clip.id);
+    }
+
+    #[test]
+    fn feature_for_unknown_video_is_none() {
+        let (ds, fm) = setup();
+        assert!(fm
+            .feature_for(ExtractorId::Mvit, &ds.train, VideoId(999_999), &TimeRange::new(0.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn clip_features_extracts_all_windows() {
+        let (ds, fm) = setup();
+        let clip = &ds.train.videos()[1];
+        let vectors = fm.clip_features(ExtractorId::Clip, &ds.train, clip.id);
+        assert_eq!(vectors.len(), clip.segments.len());
+        assert_eq!(fm.videos_with_features(ExtractorId::Clip), vec![clip.id]);
+    }
+
+    #[test]
+    fn per_extractor_costs_differ() {
+        let (ds, fm) = setup();
+        let clip = &ds.train.videos()[0];
+        assert!(
+            fm.extraction_cost(ExtractorId::Mvit, clip) > fm.extraction_cost(ExtractorId::R3d, clip)
+        );
+    }
+}

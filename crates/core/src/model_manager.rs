@@ -1,0 +1,417 @@
+//! The Model Manager (MM).
+//!
+//! "The MM trains models using the user-specified labels and performs
+//! inference on these models to return predictions. [...] Our prototype MM
+//! maintains one model per feature extractor. The MM trains a new model
+//! whenever requested to do so by the ALM and is non-blocking: while a new
+//! model is training, the MM serves requests for labels using the previously
+//! trained model" (Section 2.3).
+
+use crate::api::Prediction;
+use crate::config::VocalExploreConfig;
+use crate::feature_manager::FeatureManager;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use ve_features::ExtractorId;
+use ve_ml::{
+    Classifier, CrossValConfig, OneVsRestModel, SoftmaxModel, StandardScaler, TrainedModel,
+};
+use ve_storage::{LabelRecord, ModelRegistry};
+use ve_vidsim::{TaskKind, TimeRange, VideoCorpus, VideoId};
+
+/// A published model together with the scaler fitted on its training data.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// Feature standardizer fitted on the training features.
+    pub scaler: StandardScaler,
+    /// The trained classifier.
+    pub model: TrainedModel,
+}
+
+/// Model Manager: one (versioned) linear model per candidate feature
+/// extractor.
+pub struct ModelManager {
+    config: VocalExploreConfig,
+    registry: RwLock<ModelRegistry<FittedModel>>,
+}
+
+impl ModelManager {
+    /// Creates an empty model manager.
+    pub fn new(config: VocalExploreConfig) -> Self {
+        Self {
+            config,
+            registry: RwLock::new(ModelRegistry::new()),
+        }
+    }
+
+    /// Whether a trained model exists for the extractor.
+    pub fn has_model(&self, extractor: ExtractorId) -> bool {
+        self.registry.read().has_model(extractor)
+    }
+
+    /// Number of models published so far (all extractors, all versions).
+    pub fn models_trained(&self) -> usize {
+        self.registry.read().total_published()
+    }
+
+    /// Assembles the training set for an extractor from the label records.
+    /// Returns `(features, single_label_targets, multi_label_targets)`; the
+    /// unused target vector is empty depending on the task kind.
+    fn training_set(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+    ) -> (Vec<Vec<f32>>, Vec<usize>, Vec<Vec<usize>>) {
+        let mut features = Vec::with_capacity(labels.len());
+        let mut single = Vec::new();
+        let mut multi = Vec::new();
+        for record in labels {
+            let Some(fv) = fm.feature_for(extractor, corpus, record.vid, &record.range) else {
+                continue;
+            };
+            match self.config.task {
+                TaskKind::SingleLabel => {
+                    let Some(&class) = record.classes.first() else {
+                        continue;
+                    };
+                    features.push(fv.data);
+                    single.push(class);
+                }
+                TaskKind::MultiLabel => {
+                    features.push(fv.data);
+                    multi.push(record.classes.clone());
+                }
+            }
+        }
+        (features, single, multi)
+    }
+
+    /// Trains and publishes a new model for the extractor using all labels
+    /// collected so far. Returns `false` when there are not yet enough labels
+    /// (fewer than two distinct classes for single-label tasks, or fewer than
+    /// two records overall).
+    pub fn train(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+        iteration: u32,
+        cv_f1: Option<f64>,
+    ) -> bool {
+        let (features, single, multi) = self.training_set(extractor, corpus, fm, labels);
+        if features.len() < 2 {
+            return false;
+        }
+        let (scaled, scaler) = StandardScaler::fit_transform(&features);
+        let model = match self.config.task {
+            TaskKind::SingleLabel => {
+                let distinct: std::collections::HashSet<usize> = single.iter().copied().collect();
+                if distinct.len() < 2 {
+                    return false;
+                }
+                TrainedModel::Softmax(SoftmaxModel::fit(
+                    &scaled,
+                    &single,
+                    self.config.num_classes,
+                    &self.config.train,
+                ))
+            }
+            TaskKind::MultiLabel => TrainedModel::OneVsRest(OneVsRestModel::fit(
+                &scaled,
+                &multi,
+                self.config.num_classes,
+                &self.config.train,
+            )),
+        };
+        self.registry.write().publish(
+            extractor,
+            features.len(),
+            iteration,
+            cv_f1,
+            Arc::new(FittedModel { scaler, model }),
+        );
+        true
+    }
+
+    /// Predictions for a video segment from the latest model of the given
+    /// extractor, sorted by decreasing probability. Empty when no model has
+    /// been trained yet or the video is unknown.
+    pub fn predict(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        vid: VideoId,
+        range: &TimeRange,
+    ) -> Vec<Prediction> {
+        let Some((_, fitted)) = self.registry.read().latest(extractor) else {
+            return Vec::new();
+        };
+        let Some(fv) = fm.feature_for(extractor, corpus, vid, range) else {
+            return Vec::new();
+        };
+        let scaled = fitted.scaler.transform(&fv.data);
+        let probs = fitted.model.predict_proba(&scaled);
+        let mut predictions: Vec<Prediction> = probs
+            .iter()
+            .enumerate()
+            .map(|(class, &probability)| Prediction { class, probability })
+            .collect();
+        predictions.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .expect("finite probabilities")
+        });
+        predictions
+    }
+
+    /// Raw class probabilities for a batch of already-extracted feature
+    /// vectors (used by the acquisition functions).
+    pub fn predict_proba_batch(
+        &self,
+        extractor: ExtractorId,
+        features: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
+        let Some((_, fitted)) = self.registry.read().latest(extractor) else {
+            return Vec::new();
+        };
+        features
+            .iter()
+            .map(|f| fitted.model.predict_proba(&fitted.scaler.transform(f)))
+            .collect()
+    }
+
+    /// Cross-validated macro-F1 estimate of the extractor's quality on the
+    /// labels collected so far (the rising bandit's reward signal). Returns
+    /// `None` while there are too few labels to build stratified folds.
+    ///
+    /// The estimate is expressed on the same scale as the held-out evaluation
+    /// metric — macro F1 over the **full vocabulary** — by treating classes
+    /// that do not yet have enough labels to participate in the stratified
+    /// folds as contributing an F1 of 0. This keeps the reward *rising* as
+    /// labels accumulate (more classes become learnable), which is the
+    /// behaviour the rising-bandit assumptions rely on; scoring only the
+    /// already-covered classes would instead start near 1 and drift downward
+    /// as the problem grows harder.
+    pub fn evaluate_cv(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+    ) -> Option<f64> {
+        let (features, single, multi) = self.training_set(extractor, corpus, fm, labels);
+        if features.len() < 6 {
+            return None;
+        }
+        match self.config.task {
+            TaskKind::SingleLabel => {
+                let cfg = CrossValConfig {
+                    train: self.config.train,
+                    ..CrossValConfig::default()
+                };
+                let kept = {
+                    let mut per_class = vec![0usize; self.config.num_classes];
+                    for &c in &single {
+                        per_class[c] += 1;
+                    }
+                    per_class
+                        .iter()
+                        .filter(|&&n| n >= cfg.min_instances_per_class.max(cfg.folds))
+                        .count()
+                };
+                ve_ml::cross_validate(&features, &single, self.config.num_classes, &cfg)
+                    .map(|score| score * kept as f64 / self.config.num_classes as f64)
+            }
+            TaskKind::MultiLabel => self.multilabel_cv(&features, &multi),
+        }
+    }
+
+    /// Simple 3-fold CV for multi-label tasks (no stratification; folds are
+    /// assigned round-robin which is adequate because every class appears in
+    /// many records).
+    fn multilabel_cv(&self, features: &[Vec<f32>], targets: &[Vec<usize>]) -> Option<f64> {
+        const FOLDS: usize = 3;
+        let n = features.len();
+        if n < FOLDS * 2 {
+            return None;
+        }
+        let mut scores = Vec::new();
+        for fold in 0..FOLDS {
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            let mut test_x = Vec::new();
+            let mut test_y = Vec::new();
+            for i in 0..n {
+                if i % FOLDS == fold {
+                    test_x.push(features[i].clone());
+                    test_y.push(targets[i].clone());
+                } else {
+                    train_x.push(features[i].clone());
+                    train_y.push(targets[i].clone());
+                }
+            }
+            if train_x.is_empty() || test_x.is_empty() {
+                continue;
+            }
+            let (scaled_train, scaler) = StandardScaler::fit_transform(&train_x);
+            let model = OneVsRestModel::fit(
+                &scaled_train,
+                &train_y,
+                self.config.num_classes,
+                &self.config.train,
+            );
+            let preds: Vec<Vec<usize>> = test_x
+                .iter()
+                .map(|x| {
+                    let probs = model.predict_proba(&scaler.transform(x));
+                    probs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &p)| p >= 0.5)
+                        .map(|(c, _)| c)
+                        .collect()
+                })
+                .collect();
+            scores.push(ve_ml::macro_f1_multilabel(
+                &test_y,
+                &preds,
+                self.config.num_classes,
+            ));
+        }
+        if scores.is_empty() {
+            None
+        } else {
+            Some(scores.iter().sum::<f64>() / scores.len() as f64)
+        }
+    }
+
+    /// The latest fitted model for an extractor, if any (used by the harness
+    /// to evaluate on the held-out set).
+    pub fn latest(&self, extractor: ExtractorId) -> Option<Arc<FittedModel>> {
+        self.registry.read().latest(extractor).map(|(_, m)| m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_features::FeatureSimulator;
+    use ve_storage::StorageManager;
+    use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle};
+
+    fn setup(n_videos: usize) -> (Dataset, FeatureManager, ModelManager, Vec<LabelRecord>) {
+        let ds = Dataset::scaled(DatasetName::Deer, 0.15, 21);
+        let sim = FeatureSimulator::new(DatasetName::Deer, 9, 21);
+        let fm = FeatureManager::new(sim, StorageManager::new());
+        let cfg = VocalExploreConfig::for_dataset(&ds, 21);
+        let mm = ModelManager::new(cfg);
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        let mut labels = Vec::new();
+        for clip in ds.train.videos().iter().take(n_videos) {
+            let range = TimeRange::new(0.0, 1.0);
+            let classes = oracle.label(&ds.train, clip.id, &range);
+            labels.push(LabelRecord {
+                vid: clip.id,
+                range,
+                classes,
+                iteration: 0,
+            });
+        }
+        (ds, fm, mm, labels)
+    }
+
+    #[test]
+    fn refuses_to_train_with_too_few_labels() {
+        let (ds, fm, mm, labels) = setup(1);
+        assert!(!mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        assert!(!mm.has_model(ExtractorId::R3d));
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let (ds, fm, mm, labels) = setup(60);
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert!(mm.has_model(ExtractorId::R3d));
+        assert_eq!(mm.models_trained(), 1);
+        let clip = &ds.train.videos()[70];
+        let preds = mm.predict(ExtractorId::R3d, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.0));
+        assert_eq!(preds.len(), 9, "one probability per vocabulary class");
+        // Sorted by decreasing probability and sums to ~1.
+        assert!(preds.windows(2).all(|w| w[0].probability >= w[1].probability));
+        let total: f32 = preds.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predictions_empty_without_model() {
+        let (ds, fm, mm, _) = setup(10);
+        let clip = &ds.train.videos()[0];
+        assert!(mm
+            .predict(ExtractorId::Mvit, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.0))
+            .is_empty());
+        assert!(mm.predict_proba_batch(ExtractorId::Mvit, &[vec![0.0; 64]]).is_empty());
+    }
+
+    #[test]
+    fn cv_estimate_orders_extractors_by_signal() {
+        let (ds, fm, mm, labels) = setup(90);
+        let good = mm
+            .evaluate_cv(ExtractorId::R3d, &ds.train, &fm, &labels)
+            .unwrap();
+        let bad = mm
+            .evaluate_cv(ExtractorId::Random, &ds.train, &fm, &labels)
+            .unwrap();
+        assert!(good > bad, "R3D ({good:.3}) must beat Random ({bad:.3})");
+    }
+
+    #[test]
+    fn cv_returns_none_with_too_few_labels() {
+        let (ds, fm, mm, labels) = setup(3);
+        assert!(mm.evaluate_cv(ExtractorId::R3d, &ds.train, &fm, &labels).is_none());
+    }
+
+    #[test]
+    fn multilabel_training_and_prediction() {
+        let ds = Dataset::scaled(DatasetName::Bdd, 0.3, 9);
+        let sim = FeatureSimulator::new(DatasetName::Bdd, 6, 9);
+        let fm = FeatureManager::new(sim, StorageManager::new());
+        let cfg = VocalExploreConfig::for_dataset(&ds, 9);
+        let mm = ModelManager::new(cfg);
+        let oracle = GroundTruthOracle::new(TaskKind::MultiLabel);
+        let labels: Vec<LabelRecord> = ds
+            .train
+            .videos()
+            .iter()
+            .take(80)
+            .map(|clip| {
+                let range = TimeRange::new(0.0, 1.5);
+                LabelRecord {
+                    vid: clip.id,
+                    range,
+                    classes: oracle.label(&ds.train, clip.id, &range),
+                    iteration: 0,
+                }
+            })
+            .collect();
+        assert!(mm.train(ExtractorId::Clip, &ds.train, &fm, &labels, 0, None));
+        let clip = &ds.train.videos()[90];
+        let preds = mm.predict(ExtractorId::Clip, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.5));
+        assert_eq!(preds.len(), 6);
+        // Multi-label probabilities need not sum to one.
+        assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
+        assert!(mm.evaluate_cv(ExtractorId::Clip, &ds.train, &fm, &labels).is_some());
+    }
+
+    #[test]
+    fn retraining_publishes_new_version() {
+        let (ds, fm, mm, labels) = setup(60);
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, Some(0.4)));
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, Some(0.5)));
+        assert_eq!(mm.models_trained(), 2);
+        assert!(mm.latest(ExtractorId::R3d).is_some());
+    }
+}

@@ -1,0 +1,428 @@
+//! The user-facing VOCALExplore system (Table 1 API).
+//!
+//! [`VocalExplore`] wires the Storage, Feature, Model, and Active Learning
+//! managers together behind the four API calls of the paper: `AddVideo`,
+//! `Watch`, `Explore`, and `AddLabel`. This facade is the "real" in-process
+//! execution path used by the examples and integration tests; the latency
+//! experiments use the [`crate::harness`] driver on top of it so that GPU
+//! costs (which are simulated) can be accounted per scheduling strategy.
+
+use crate::alm::ActiveLearningManager;
+use crate::api::{ExploreBatch, SegmentRef};
+use crate::config::VocalExploreConfig;
+use crate::feature_manager::FeatureManager;
+use crate::model_manager::ModelManager;
+use ve_al::AcquisitionKind;
+use ve_features::{ExtractorId, FeatureSimulator};
+use ve_storage::{LabelRecord, StorageManager, VideoRecord};
+use ve_vidsim::{ClassId, TimeRange, VideoClip, VideoCorpus, VideoId};
+
+/// The VOCALExplore system.
+pub struct VocalExplore {
+    config: VocalExploreConfig,
+    corpus: VideoCorpus,
+    storage: StorageManager,
+    fm: FeatureManager,
+    mm: ModelManager,
+    alm: ActiveLearningManager,
+    iteration: u32,
+    labels_at_last_training: usize,
+}
+
+impl VocalExplore {
+    /// Creates a system for the configured dataset characteristics.
+    pub fn new(config: VocalExploreConfig) -> Self {
+        let storage = StorageManager::new();
+        let simulator = FeatureSimulator::with_dim(
+            config.dataset,
+            config.num_classes,
+            config.seed,
+            config.feature_dim,
+        );
+        let fm = FeatureManager::new(simulator, storage.clone());
+        let mm = ModelManager::new(config.clone());
+        let alm = ActiveLearningManager::new(config.clone());
+        Self {
+            config,
+            corpus: VideoCorpus::new(),
+            storage,
+            fm,
+            mm,
+            alm,
+            iteration: 0,
+            labels_at_last_training: 0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &VocalExploreConfig {
+        &self.config
+    }
+
+    /// The video corpus registered so far.
+    pub fn corpus(&self) -> &VideoCorpus {
+        &self.corpus
+    }
+
+    /// The feature manager (exposed for the experiment harness).
+    pub fn feature_manager(&self) -> &FeatureManager {
+        &self.fm
+    }
+
+    /// The model manager (exposed for the experiment harness).
+    pub fn model_manager(&self) -> &ModelManager {
+        &self.mm
+    }
+
+    /// The active learning manager (exposed for the experiment harness).
+    pub fn alm(&self) -> &ActiveLearningManager {
+        &self.alm
+    }
+
+    /// Mutable ALM access (harness only).
+    pub fn alm_mut(&mut self) -> &mut ActiveLearningManager {
+        &mut self.alm
+    }
+
+    /// Number of labels collected so far.
+    pub fn label_count(&self) -> usize {
+        self.storage.with_labels(|l| l.len())
+    }
+
+    /// Per-class label counts over the vocabulary.
+    pub fn class_counts(&self) -> Vec<u64> {
+        self.storage
+            .with_labels(|l| l.class_counts(self.config.num_classes))
+    }
+
+    /// All label records collected so far.
+    pub fn label_records(&self) -> Vec<LabelRecord> {
+        self.storage.with_labels(|l| l.records().to_vec())
+    }
+
+    /// `AddVideo(path)`: registers a video and returns its id.
+    pub fn add_video(&mut self, clip: VideoClip) -> VideoId {
+        let record = VideoRecord {
+            vid: clip.id,
+            path: clip.path.clone(),
+            duration: clip.duration,
+            start_timestamp: clip.start_timestamp,
+        };
+        let vid = self.corpus.add_with_id(clip);
+        self.storage.with_metadata_mut(|m| {
+            m.insert(VideoRecord { vid, ..record });
+        });
+        vid
+    }
+
+    /// `Watch(vid, start, end)`: returns the stream of segments in the window
+    /// with the current model's predictions attached.
+    pub fn watch(&mut self, vid: VideoId, start: f64, end: f64, clip_len: f64) -> ExploreBatch {
+        assert!(clip_len > 0.0, "clip length must be positive");
+        let Some(clip) = self.corpus.get(vid) else {
+            return ExploreBatch::default();
+        };
+        let end = end.min(clip.duration);
+        let mut segments = Vec::new();
+        let mut t = start.max(0.0);
+        while t < end {
+            let range = TimeRange::new(t, (t + clip_len).min(end));
+            segments.push((vid, range));
+            t += clip_len;
+        }
+        let refs = self.attach_predictions(segments);
+        ExploreBatch {
+            segments: refs,
+            acquisition: None,
+        }
+    }
+
+    /// `Explore(B, t, label)`: returns `budget` system-selected segments of
+    /// duration `clip_len`, with predictions attached.
+    pub fn explore(
+        &mut self,
+        budget: usize,
+        clip_len: f64,
+        target_label: Option<ClassId>,
+    ) -> ExploreBatch {
+        assert!(clip_len > 0.0, "clip length must be positive");
+        self.iteration += 1;
+        // Keep models and feature selection up to date before sampling (in
+        // the in-process facade this work is synchronous; the harness
+        // accounts its latency according to the scheduling strategy).
+        self.process_pending_work();
+
+        let pool = self
+            .fm
+            .videos_with_features(self.alm.current_extractor());
+        let (picks, stats) = self.alm.select_segments(
+            &self.corpus,
+            &self.fm,
+            &self.mm,
+            &self.storage.with_labels(|l| l.clone()),
+            budget,
+            clip_len,
+            target_label,
+            &pool,
+        );
+        let refs = self.attach_predictions(picks);
+        ExploreBatch {
+            segments: refs,
+            acquisition: Some(stats.acquisition),
+        }
+    }
+
+    /// `AddLabel(vid, start, end, label)`: records the user's label(s) for a
+    /// segment.
+    pub fn add_label(&mut self, vid: VideoId, range: TimeRange, classes: Vec<ClassId>) {
+        let iteration = self.iteration;
+        self.storage.with_labels_mut(|l| {
+            l.add(LabelRecord {
+                vid,
+                range,
+                classes,
+                iteration,
+            })
+        });
+        let counts = self.class_counts();
+        self.alm.observe_labels(&counts);
+    }
+
+    /// Runs the deferred work the Task Scheduler would run in the background:
+    /// model (re)training for the current extractor and one feature-evaluation
+    /// step for the rising bandit. Returns the number of `T_e` tasks executed.
+    pub fn process_pending_work(&mut self) -> usize {
+        let labels = self.label_records();
+        if labels.len() < self.config.min_labels_for_predictions {
+            return 0;
+        }
+        // Feature evaluation for the bandit (one T_e per active extractor).
+        let scores =
+            self.alm
+                .feature_evaluation_step(&self.corpus, &self.fm, &self.mm, &labels);
+        // (Re)train the model of the extractor used for predictions when new
+        // labels have arrived since the previous training.
+        if labels.len() > self.labels_at_last_training {
+            let extractor = self.alm.current_extractor();
+            let cv = scores
+                .iter()
+                .find(|(e, _)| *e == extractor)
+                .map(|(_, s)| *s);
+            if self
+                .mm
+                .train(extractor, &self.corpus, &self.fm, &labels, self.iteration, cv)
+            {
+                self.labels_at_last_training = labels.len();
+            }
+        }
+        scores.len()
+    }
+
+    /// Eagerly extracts features for up to `max_videos` unlabeled videos for
+    /// every active candidate extractor (`T_f⁻` work). Returns the simulated
+    /// GPU seconds spent. Used by the `VE-full` strategy during labeling time.
+    pub fn eager_extract(&mut self, max_videos: usize) -> f64 {
+        if max_videos == 0 {
+            return 0.0;
+        }
+        let extractors = self.alm.active_extractors();
+        let primary = self.alm.current_extractor();
+        let covered: std::collections::HashSet<VideoId> =
+            self.fm.videos_with_features(primary).into_iter().collect();
+        let mut spent = 0.0;
+        let mut processed = 0;
+        for clip in self.corpus.videos() {
+            if processed >= max_videos {
+                break;
+            }
+            if covered.contains(&clip.id) {
+                continue;
+            }
+            for &e in &extractors {
+                spent += self.fm.ensure_clip(e, clip);
+            }
+            processed += 1;
+        }
+        spent
+    }
+
+    /// Current acquisition function.
+    pub fn current_acquisition(&self) -> AcquisitionKind {
+        self.alm.current_acquisition()
+    }
+
+    /// The extractor currently used for predictions.
+    pub fn current_extractor(&self) -> ExtractorId {
+        self.alm.current_extractor()
+    }
+
+    fn attach_predictions(&self, segments: Vec<(VideoId, TimeRange)>) -> Vec<SegmentRef> {
+        let have_enough_labels = self.label_count() >= self.config.min_labels_for_predictions;
+        let extractor = self.alm.current_extractor();
+        segments
+            .into_iter()
+            .map(|(vid, range)| {
+                let predictions = if have_enough_labels && self.mm.has_model(extractor) {
+                    self.mm.predict(extractor, &self.corpus, &self.fm, vid, &range)
+                } else {
+                    Vec::new()
+                };
+                SegmentRef {
+                    vid,
+                    range,
+                    predictions,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FeatureSelectionPolicy, SamplingPolicy};
+    use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle, TaskKind};
+
+    fn small_system(seed: u64) -> (Dataset, VocalExplore) {
+        let dataset = Dataset::scaled(DatasetName::Deer, 0.08, seed);
+        let config = VocalExploreConfig::for_dataset(&dataset, seed)
+            .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+            .with_extra_candidates(5);
+        let mut system = VocalExplore::new(config);
+        for clip in dataset.train.videos() {
+            system.add_video(clip.clone());
+        }
+        (dataset, system)
+    }
+
+    #[test]
+    fn add_video_registers_metadata() {
+        let (dataset, system) = small_system(1);
+        assert_eq!(system.corpus().len(), dataset.train.len());
+        assert_eq!(system.label_count(), 0);
+    }
+
+    #[test]
+    fn explore_returns_requested_batch_without_predictions_initially() {
+        let (_, mut system) = small_system(2);
+        let batch = system.explore(5, 1.0, None);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.acquisition, Some(AcquisitionKind::Random));
+        assert!(batch.segments.iter().all(|s| s.predictions.is_empty()));
+    }
+
+    #[test]
+    fn predictions_appear_after_min_labels() {
+        let (dataset, mut system) = small_system(3);
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        // Label a couple of batches with ground truth.
+        for _ in 0..4 {
+            let batch = system.explore(5, 1.0, None);
+            for seg in &batch.segments {
+                let classes = oracle.label(&dataset.train, seg.vid, &seg.range);
+                system.add_label(seg.vid, seg.range, classes);
+            }
+        }
+        let batch = system.explore(5, 1.0, None);
+        assert!(
+            batch.segments.iter().any(|s| !s.predictions.is_empty()),
+            "after {} labels the system should return predictions",
+            system.label_count()
+        );
+        // Predictions form a distribution over the vocabulary.
+        let seg = batch
+            .segments
+            .iter()
+            .find(|s| !s.predictions.is_empty())
+            .unwrap();
+        assert_eq!(seg.predictions.len(), 9);
+    }
+
+    #[test]
+    fn watch_returns_consecutive_segments() {
+        let (_, mut system) = small_system(4);
+        let vid = system.corpus().ids()[0];
+        let batch = system.watch(vid, 0.0, 4.0, 1.0);
+        assert_eq!(batch.len(), 4);
+        for (i, seg) in batch.segments.iter().enumerate() {
+            assert_eq!(seg.range.start, i as f64);
+        }
+        // Watching an unknown video yields an empty batch.
+        assert!(system.watch(VideoId(999_999), 0.0, 5.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn labels_are_not_resampled_by_explore() {
+        let (dataset, mut system) = small_system(5);
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        let mut labeled: std::collections::HashSet<(VideoId, i64)> = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let batch = system.explore(5, 1.0, None);
+            for seg in &batch.segments {
+                let key = (seg.vid, (seg.range.start * 1000.0) as i64);
+                assert!(
+                    !labeled.contains(&key),
+                    "segment {key:?} was offered for labeling twice"
+                );
+                labeled.insert(key);
+                let classes = oracle.label(&dataset.train, seg.vid, &seg.range);
+                system.add_label(seg.vid, seg.range, classes);
+            }
+        }
+    }
+
+    #[test]
+    fn eager_extraction_grows_the_feature_pool() {
+        let (_, mut system) = small_system(6);
+        let extractor = system.current_extractor();
+        assert!(system.feature_manager().videos_with_features(extractor).is_empty());
+        let spent = system.eager_extract(10);
+        assert!(spent > 0.0);
+        assert_eq!(
+            system.feature_manager().videos_with_features(extractor).len(),
+            10
+        );
+        // A second call skips the already-covered videos.
+        system.eager_extract(10);
+        assert_eq!(
+            system.feature_manager().videos_with_features(extractor).len(),
+            20
+        );
+    }
+
+    #[test]
+    fn skewed_labels_switch_the_acquisition_function() {
+        let (dataset, _) = (Dataset::scaled(DatasetName::Deer, 0.08, 7), ());
+        let config = VocalExploreConfig::for_dataset(&dataset, 7)
+            .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+            .with_sampling(SamplingPolicy::default())
+            .with_extra_candidates(5);
+        let mut system = VocalExplore::new(config);
+        for clip in dataset.train.videos() {
+            system.add_video(clip.clone());
+        }
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        for _ in 0..12 {
+            let batch = system.explore(5, 1.0, None);
+            for seg in &batch.segments {
+                let classes = oracle.label(&dataset.train, seg.vid, &seg.range);
+                system.add_label(seg.vid, seg.range, classes);
+            }
+            if system.current_acquisition() != AcquisitionKind::Random {
+                break;
+            }
+        }
+        assert_eq!(
+            system.current_acquisition(),
+            AcquisitionKind::ClusterMargin,
+            "the Deer label distribution is skewed enough to trigger the switch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clip length must be positive")]
+    fn explore_rejects_zero_clip_length() {
+        let (_, mut system) = small_system(8);
+        system.explore(5, 0.0, None);
+    }
+}

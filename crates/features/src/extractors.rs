@@ -1,0 +1,213 @@
+//! The candidate feature extractors of Table 3.
+//!
+//! | Feature       | Type  | Architecture | Pretrained       | Dim | Tput |
+//! |---------------|-------|--------------|------------------|-----|------|
+//! | R3D           | Video | Conv. net    | Kinetics400      | 512 | 4.03 |
+//! | MViT          | Video | Transformer  | Kinetics400      | 768 | 2.93 |
+//! | CLIP          | Image | Transformer  | Internet images  | 512 | 3.64 |
+//! | CLIP (Pooled) | Image | Transformer  | Internet images  | 512 | 3.45 |
+//! | Random        | Video | Transformer  | None             | 768 | 2.96 |
+//!
+//! Throughput is "the number of 10-second videos that can be processed each
+//! second while running two extraction tasks on the GPU"; the Task Scheduler
+//! converts it into per-task feature-extraction latency.
+
+/// Identifier of a candidate feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtractorId {
+    /// R3D convolutional video network pretrained on Kinetics400.
+    R3d,
+    /// MViT video transformer pretrained on Kinetics400.
+    Mvit,
+    /// CLIP image transformer applied to the middle frame of each window.
+    Clip,
+    /// CLIP applied to every other frame with max-pooling over the window.
+    ClipPooled,
+    /// The MViT architecture with randomized weights (a deliberately
+    /// low-signal feature used to show the bandit eliminates bad arms).
+    Random,
+}
+
+/// Number of candidate extractors VOCALExplore is initialized with.
+pub const EXTRACTOR_COUNT: usize = 5;
+
+impl ExtractorId {
+    /// All extractors in Table 3 order.
+    pub fn all() -> [ExtractorId; EXTRACTOR_COUNT] {
+        [
+            ExtractorId::R3d,
+            ExtractorId::Mvit,
+            ExtractorId::Clip,
+            ExtractorId::ClipPooled,
+            ExtractorId::Random,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExtractorId::R3d => "R3D",
+            ExtractorId::Mvit => "MViT",
+            ExtractorId::Clip => "CLIP",
+            ExtractorId::ClipPooled => "CLIP (Pooled)",
+            ExtractorId::Random => "Random",
+        }
+    }
+
+    /// Stable dense index (0..EXTRACTOR_COUNT) for array-backed lookups.
+    pub fn index(&self) -> usize {
+        match self {
+            ExtractorId::R3d => 0,
+            ExtractorId::Mvit => 1,
+            ExtractorId::Clip => 2,
+            ExtractorId::ClipPooled => 3,
+            ExtractorId::Random => 4,
+        }
+    }
+
+    /// The extractor with the given dense index.
+    ///
+    /// # Panics
+    /// Panics if `i >= EXTRACTOR_COUNT`.
+    pub fn from_index(i: usize) -> Self {
+        Self::all()[i]
+    }
+
+    /// The Table 3 spec for this extractor.
+    pub fn spec(&self) -> ExtractorSpec {
+        match self {
+            ExtractorId::R3d => ExtractorSpec {
+                id: *self,
+                input: InputType::Video,
+                architecture: "Conv. net",
+                pretrained: Some("Kinetics400"),
+                dim: 512,
+                throughput_videos_per_sec: 4.03,
+            },
+            ExtractorId::Mvit => ExtractorSpec {
+                id: *self,
+                input: InputType::Video,
+                architecture: "Transformer",
+                pretrained: Some("Kinetics400"),
+                dim: 768,
+                throughput_videos_per_sec: 2.93,
+            },
+            ExtractorId::Clip => ExtractorSpec {
+                id: *self,
+                input: InputType::Image,
+                architecture: "Transformer",
+                pretrained: Some("Internet images"),
+                dim: 512,
+                throughput_videos_per_sec: 3.64,
+            },
+            ExtractorId::ClipPooled => ExtractorSpec {
+                id: *self,
+                input: InputType::Image,
+                architecture: "Transformer",
+                pretrained: Some("Internet images"),
+                dim: 512,
+                throughput_videos_per_sec: 3.45,
+            },
+            ExtractorId::Random => ExtractorSpec {
+                id: *self,
+                input: InputType::Video,
+                architecture: "Transformer",
+                pretrained: None,
+                dim: 768,
+                throughput_videos_per_sec: 2.96,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ExtractorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a pretrained model consumes clips or individual frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputType {
+    /// Consumes a sequence of frames (sequence length 16, stride 2, step 32).
+    Video,
+    /// Consumes individual frames (CLIP variants).
+    Image,
+}
+
+/// Static description of one extractor (one row of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractorSpec {
+    /// Which extractor this describes.
+    pub id: ExtractorId,
+    /// Video or image input.
+    pub input: InputType,
+    /// Architecture family.
+    pub architecture: &'static str,
+    /// Pretraining corpus, or `None` for randomized weights.
+    pub pretrained: Option<&'static str>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Number of 10-second videos processed per second (Table 3 throughput).
+    pub throughput_videos_per_sec: f64,
+}
+
+impl ExtractorSpec {
+    /// Seconds of GPU time to extract this feature from a video of the given
+    /// duration, derived from the Table 3 throughput (which is measured on
+    /// 10-second videos).
+    pub fn extraction_seconds(&self, video_duration_secs: f64) -> f64 {
+        assert!(video_duration_secs >= 0.0);
+        (video_duration_secs / 10.0) / self.throughput_videos_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_dims_and_throughputs() {
+        assert_eq!(ExtractorId::R3d.spec().dim, 512);
+        assert_eq!(ExtractorId::Mvit.spec().dim, 768);
+        assert_eq!(ExtractorId::Clip.spec().dim, 512);
+        assert_eq!(ExtractorId::ClipPooled.spec().dim, 512);
+        assert_eq!(ExtractorId::Random.spec().dim, 768);
+        assert!((ExtractorId::R3d.spec().throughput_videos_per_sec - 4.03).abs() < 1e-9);
+        assert!((ExtractorId::Mvit.spec().throughput_videos_per_sec - 2.93).abs() < 1e-9);
+        assert!(ExtractorId::Random.spec().pretrained.is_none());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, e) in ExtractorId::all().iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(ExtractorId::from_index(i), *e);
+        }
+    }
+
+    #[test]
+    fn extraction_time_scales_with_duration() {
+        let spec = ExtractorId::R3d.spec();
+        let t10 = spec.extraction_seconds(10.0);
+        let t40 = spec.extraction_seconds(40.0);
+        assert!((t10 - 1.0 / 4.03).abs() < 1e-9);
+        assert!((t40 - 4.0 * t10).abs() < 1e-9);
+        assert_eq!(spec.extraction_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn slower_extractors_cost_more() {
+        // MViT (2.93 videos/s) must cost more per video than R3D (4.03).
+        assert!(
+            ExtractorId::Mvit.spec().extraction_seconds(10.0)
+                > ExtractorId::R3d.spec().extraction_seconds(10.0)
+        );
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(ExtractorId::ClipPooled.to_string(), "CLIP (Pooled)");
+        assert_eq!(ExtractorId::R3d.to_string(), "R3D");
+    }
+}

@@ -1,0 +1,28 @@
+//! `ve-features` — the Feature Manager substrate: simulated pretrained
+//! feature extractors.
+//!
+//! The paper's Feature Manager runs GPU inference with five candidate
+//! pretrained models (Table 3) — R3D, MViT, CLIP, CLIP (Pooled), and a
+//! random-weight transformer — and hands the resulting per-window embedding
+//! vectors to the Active Learning Manager and Model Manager. Neither the
+//! pretrained weights nor a GPU are available here, so this crate simulates
+//! the extractors:
+//!
+//! * each `(dataset, extractor)` pair has a [`SignalProfile`] (class-centroid
+//!   separation, noise level, fraction of informative dimensions) calibrated
+//!   so the *relative ordering* of extractors per dataset matches Figure 4
+//!   (R3D/MViT best on Deer, MViT best on K20 (skew)/Charades, CLIP variants
+//!   best on BDD, the Random feature always uninformative);
+//! * embeddings are deterministic functions of the segment's latent content
+//!   seed, so repeated extraction returns identical vectors — exactly like
+//!   running a frozen pretrained model twice; and
+//! * extraction *cost* follows Table 3's measured throughputs, which is what
+//!   the Task Scheduler experiments (Figures 2 and 8) depend on.
+
+pub mod extractors;
+pub mod profiles;
+pub mod simulator;
+
+pub use extractors::{ExtractorId, ExtractorSpec, InputType, EXTRACTOR_COUNT};
+pub use profiles::SignalProfile;
+pub use simulator::{FeatureSimulator, FeatureVector};

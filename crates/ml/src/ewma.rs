@@ -1,0 +1,152 @@
+//! Exponential weighted moving average (EWMA) smoothing.
+//!
+//! Section 3.2.4: "the prototype uses exponential weighted moving average
+//! (EWMA) smoothing" with a span `w`, `alpha = 2 / (w + 1)` (the paper sets
+//! `w = 5`), to smooth the noisy per-step cross-validated model quality
+//! before the rising bandit computes its bounds.
+
+/// EWMA smoother parameterized by span `w` (`alpha = 2 / (w + 1)`), matching
+/// pandas' `ewm(span=w, adjust=false)` semantics used by the prototype.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+    count: usize,
+}
+
+impl Ewma {
+    /// Creates a smoother with the given span.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`.
+    pub fn with_span(span: usize) -> Self {
+        assert!(span > 0, "span must be positive");
+        Self {
+            alpha: 2.0 / (span as f64 + 1.0),
+            value: None,
+            count: 0,
+        }
+    }
+
+    /// Creates a smoother directly from `alpha` in `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            value: None,
+            count: 0,
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation and returns the updated smoothed value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        self.count += 1;
+        next
+    }
+
+    /// Current smoothed value, if any observation has been consumed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Smooths a whole series, returning one smoothed value per input.
+    pub fn smooth_series(span: usize, xs: &[f64]) -> Vec<f64> {
+        let mut e = Ewma::with_span(span);
+        xs.iter().map(|&x| e.update(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_alpha_conversion() {
+        let e = Ewma::with_span(5);
+        assert!((e.alpha() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_observation_passes_through() {
+        let mut e = Ewma::with_span(5);
+        assert_eq!(e.update(0.7), 0.7);
+        assert_eq!(e.value(), Some(0.7));
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn constant_series_stays_constant() {
+        let out = Ewma::smooth_series(5, &[0.4; 10]);
+        assert!(out.iter().all(|&v| (v - 0.4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smoothing_dampens_spikes() {
+        // A single spike in an otherwise flat series should be attenuated.
+        let xs = [0.5, 0.5, 0.5, 0.9, 0.5, 0.5];
+        let smoothed = Ewma::smooth_series(5, &xs);
+        assert!(smoothed[3] < 0.7, "spike should be dampened: {}", smoothed[3]);
+        assert!(smoothed[3] > 0.5, "but still move toward the spike");
+    }
+
+    #[test]
+    fn tracks_monotone_trend() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let smoothed = Ewma::smooth_series(5, &xs);
+        // Smoothed series should also be increasing and lag below the input.
+        for w in smoothed.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(smoothed[19] < xs[19]);
+    }
+
+    #[test]
+    fn larger_span_smooths_more() {
+        let xs = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let light = Ewma::smooth_series(3, &xs);
+        let heavy = Ewma::smooth_series(9, &xs);
+        // Variance of the heavily smoothed series must be smaller.
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&heavy) < var(&light));
+    }
+
+    #[test]
+    fn known_recurrence_values() {
+        // alpha = 0.5 (span = 3): v1 = 1, v2 = 0.5*0 + 0.5*1 = 0.5,
+        // v3 = 0.5*1 + 0.5*0.5 = 0.75.
+        let out = Ewma::smooth_series(3, &[1.0, 0.0, 1.0]);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 0.5).abs() < 1e-12);
+        assert!((out[2] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn rejects_zero_span() {
+        Ewma::with_span(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_invalid_alpha() {
+        Ewma::with_alpha(1.5);
+    }
+}

@@ -1,0 +1,524 @@
+//! Linear classifiers: multinomial logistic regression (softmax) and
+//! one-vs-rest binary logistic regression.
+//!
+//! These are the domain-specific models VOCALExplore's Model Manager trains on
+//! top of pretrained feature vectors. The paper's prototype trains "linear
+//! models" (Section 3.1 problem statement and Section 5 implementation
+//! details); single-label tasks (Deer activities, K20, Bears) use a softmax
+//! model while multi-label tasks (Charades verbs, BDD objects) use one
+//! binary head per class.
+
+use crate::tensor::{dot, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Whether the classification task is single-label or multi-label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelKind {
+    /// Exactly one class per example (softmax).
+    SingleLabel,
+    /// Zero or more classes per example (independent sigmoid per class).
+    MultiLabel,
+}
+
+/// Training hyperparameters for the linear models.
+///
+/// The defaults are tuned for the small training sets the ALM sees during
+/// exploration (tens to a few hundred labeled clips): full-batch-ish SGD with
+/// a moderate learning rate, light L2, and early stopping on the training
+/// loss plateau.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Maximum number of passes over the training data.
+    pub epochs: usize,
+    /// Learning rate for SGD.
+    pub learning_rate: f32,
+    /// L2 regularization strength (applied to weights, not the bias).
+    pub l2: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for mini-batch shuffling and weight initialization.
+    pub seed: u64,
+    /// Stop early when the relative improvement of the epoch loss drops below
+    /// this tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 120,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            batch_size: 64,
+            seed: 0,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+/// A trained classifier that outputs a probability distribution (or a set of
+/// independent probabilities for multi-label tasks) over the vocabulary.
+pub trait Classifier: Send + Sync {
+    /// Per-class probabilities for a single feature vector.
+    fn predict_proba(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Number of classes in the vocabulary.
+    fn num_classes(&self) -> usize;
+
+    /// Feature dimensionality the model was trained on.
+    fn dim(&self) -> usize;
+
+    /// Index of the most probable class.
+    fn predict(&self, x: &[f32]) -> usize {
+        let probs = self.predict_proba(x);
+        argmax(&probs)
+    }
+}
+
+/// Multinomial logistic regression trained with mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct SoftmaxModel {
+    /// `num_classes × dim` weight matrix.
+    weights: Matrix,
+    /// Per-class bias.
+    bias: Vec<f32>,
+    dim: usize,
+    num_classes: usize,
+}
+
+impl SoftmaxModel {
+    /// Trains a softmax model.
+    ///
+    /// * `features` — one row per labeled clip.
+    /// * `labels` — class index per clip (must be `< num_classes`).
+    /// * `num_classes` — size of the vocabulary. The paper initializes the
+    ///   model with the full vocabulary even before every class has labels,
+    ///   so `num_classes` may exceed the number of distinct observed labels.
+    ///
+    /// # Panics
+    /// Panics if `features` is empty, rows have inconsistent lengths, or a
+    /// label is out of range.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        assert!(!features.is_empty(), "cannot train on an empty set");
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        assert!(num_classes >= 2, "need at least two classes");
+        let dim = features[0].len();
+        assert!(
+            features.iter().all(|f| f.len() == dim),
+            "inconsistent feature dimensions"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+
+        let mut weights = Matrix::zeros(num_classes, dim);
+        let mut bias = vec![0.0f32; num_classes];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = features.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut prev_loss = f64::INFINITY;
+
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                // Accumulate gradients over the mini-batch.
+                let mut grad_w = Matrix::zeros(num_classes, dim);
+                let mut grad_b = vec![0.0f32; num_classes];
+                for &i in chunk {
+                    let x = &features[i];
+                    let mut logits = weights.matvec(x);
+                    for (l, b) in logits.iter_mut().zip(&bias) {
+                        *l += b;
+                    }
+                    let probs = softmax(&logits);
+                    epoch_loss += -(probs[labels[i]].max(1e-12) as f64).ln();
+                    for c in 0..num_classes {
+                        let err = probs[c] - if c == labels[i] { 1.0 } else { 0.0 };
+                        grad_b[c] += err;
+                        let row = grad_w.row_mut(c);
+                        for (g, &xv) in row.iter_mut().zip(x.iter()) {
+                            *g += err * xv;
+                        }
+                    }
+                }
+                let scale = cfg.learning_rate / chunk.len() as f32;
+                // L2 shrink (weights only).
+                if cfg.l2 > 0.0 {
+                    weights.scale(1.0 - cfg.learning_rate * cfg.l2);
+                }
+                weights.axpy(-scale, &grad_w);
+                for (b, g) in bias.iter_mut().zip(&grad_b) {
+                    *b -= scale * g;
+                }
+            }
+            let epoch_loss = epoch_loss / n as f64;
+            if (prev_loss - epoch_loss).abs() < cfg.tolerance * prev_loss.abs().max(1e-9) {
+                break;
+            }
+            prev_loss = epoch_loss;
+        }
+
+        Self {
+            weights,
+            bias,
+            dim,
+            num_classes,
+        }
+    }
+}
+
+impl Classifier for SoftmaxModel {
+    fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let mut logits = self.weights.matvec(x);
+        for (l, b) in logits.iter_mut().zip(&self.bias) {
+            *l += b;
+        }
+        softmax(&logits)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// One-vs-rest logistic regression for multi-label tasks. Each class gets an
+/// independent binary head; `predict_proba` returns per-class sigmoid
+/// probabilities (not a distribution).
+#[derive(Debug, Clone)]
+pub struct OneVsRestModel {
+    /// `num_classes × dim` weight matrix.
+    weights: Matrix,
+    bias: Vec<f32>,
+    dim: usize,
+    num_classes: usize,
+}
+
+impl OneVsRestModel {
+    /// Trains one binary logistic head per class.
+    ///
+    /// * `label_sets` — for each example, the set of positive class indices.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged features, or out-of-range labels.
+    pub fn fit(
+        features: &[Vec<f32>],
+        label_sets: &[Vec<usize>],
+        num_classes: usize,
+        cfg: &TrainConfig,
+    ) -> Self {
+        assert!(!features.is_empty(), "cannot train on an empty set");
+        assert_eq!(features.len(), label_sets.len());
+        assert!(num_classes >= 1);
+        let dim = features[0].len();
+        assert!(features.iter().all(|f| f.len() == dim));
+        assert!(label_sets
+            .iter()
+            .all(|ls| ls.iter().all(|&l| l < num_classes)));
+
+        // Dense 0/1 targets per class.
+        let n = features.len();
+        let mut targets = vec![vec![0.0f32; n]; num_classes];
+        for (i, ls) in label_sets.iter().enumerate() {
+            for &c in ls {
+                targets[c][i] = 1.0;
+            }
+        }
+
+        let mut weights = Matrix::zeros(num_classes, dim);
+        let mut bias = vec![0.0f32; num_classes];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let mut grad_w = Matrix::zeros(num_classes, dim);
+                let mut grad_b = vec![0.0f32; num_classes];
+                for &i in chunk {
+                    let x = &features[i];
+                    for c in 0..num_classes {
+                        let z = dot(weights.row(c), x) + bias[c];
+                        let p = sigmoid(z);
+                        let err = p - targets[c][i];
+                        grad_b[c] += err;
+                        let row = grad_w.row_mut(c);
+                        for (g, &xv) in row.iter_mut().zip(x.iter()) {
+                            *g += err * xv;
+                        }
+                    }
+                }
+                let scale = cfg.learning_rate / chunk.len() as f32;
+                if cfg.l2 > 0.0 {
+                    weights.scale(1.0 - cfg.learning_rate * cfg.l2);
+                }
+                weights.axpy(-scale, &grad_w);
+                for (b, g) in bias.iter_mut().zip(&grad_b) {
+                    *b -= scale * g;
+                }
+            }
+        }
+
+        Self {
+            weights,
+            bias,
+            dim,
+            num_classes,
+        }
+    }
+}
+
+impl Classifier for OneVsRestModel {
+    fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        (0..self.num_classes)
+            .map(|c| sigmoid(dot(self.weights.row(c), x) + self.bias[c]))
+            .collect()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A trained model of either kind, as stored by the Model Manager.
+#[derive(Debug, Clone)]
+pub enum TrainedModel {
+    /// Single-label softmax model.
+    Softmax(SoftmaxModel),
+    /// Multi-label one-vs-rest model.
+    OneVsRest(OneVsRestModel),
+}
+
+impl TrainedModel {
+    /// The label kind this model was trained for.
+    pub fn kind(&self) -> LabelKind {
+        match self {
+            TrainedModel::Softmax(_) => LabelKind::SingleLabel,
+            TrainedModel::OneVsRest(_) => LabelKind::MultiLabel,
+        }
+    }
+}
+
+impl Classifier for TrainedModel {
+    fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            TrainedModel::Softmax(m) => m.predict_proba(x),
+            TrainedModel::OneVsRest(m) => m.predict_proba(x),
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        match self {
+            TrainedModel::Softmax(m) => m.num_classes(),
+            TrainedModel::OneVsRest(m) => m.num_classes(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            TrainedModel::Softmax(m) => m.dim(),
+            TrainedModel::OneVsRest(m) => m.dim(),
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blob_dataset(
+        n_per_class: usize,
+        centers: &[[f32; 2]],
+        noise: f32,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..n_per_class {
+                let dx: f32 = rng.gen::<f32>() * 2.0 - 1.0;
+                let dy: f32 = rng.gen::<f32>() * 2.0 - 1.0;
+                xs.push(vec![center[0] + noise * dx, center[1] + noise * dy]);
+                ys.push(c);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1000.0, 0.0]);
+        assert!(p[0] > 0.999 && p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(100.0) <= 1.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn softmax_model_learns_separable_blobs() {
+        let (xs, ys) = blob_dataset(60, &[[0.0, 0.0], [4.0, 4.0], [-4.0, 4.0]], 0.7, 1);
+        let model = SoftmaxModel::fit(&xs, &ys, 3, &TrainConfig::default());
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.95,
+            "accuracy {}",
+            correct as f64 / xs.len() as f64
+        );
+    }
+
+    #[test]
+    fn softmax_model_with_unobserved_classes() {
+        // The vocabulary has 5 classes but only 2 appear in the labels; the
+        // model must still output a 5-way distribution.
+        let (xs, ys) = blob_dataset(30, &[[0.0, 0.0], [5.0, 5.0]], 0.5, 2);
+        let model = SoftmaxModel::fit(&xs, &ys, 5, &TrainConfig::default());
+        let probs = model.predict_proba(&xs[0]);
+        assert_eq!(probs.len(), 5);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(model.predict(&xs[0]) < 2, "should predict an observed class");
+    }
+
+    #[test]
+    fn softmax_probabilities_track_confidence() {
+        let (xs, ys) = blob_dataset(50, &[[0.0, 0.0], [6.0, 0.0]], 0.5, 3);
+        let model = SoftmaxModel::fit(&xs, &ys, 2, &TrainConfig::default());
+        // A point far on class 1's side should get a confident class-1 score.
+        let p = model.predict_proba(&[6.0, 0.0]);
+        assert!(p[1] > 0.9, "p={p:?}");
+        // The midpoint should be uncertain.
+        let p_mid = model.predict_proba(&[3.0, 0.0]);
+        assert!(p_mid[0] > 0.2 && p_mid[0] < 0.8, "p_mid={p_mid:?}");
+    }
+
+    #[test]
+    fn one_vs_rest_learns_independent_labels() {
+        // Label 0 active when x > 0, label 1 active when y > 0.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xs = Vec::new();
+        let mut ls = Vec::new();
+        for _ in 0..400 {
+            let x: f32 = rng.gen::<f32>() * 4.0 - 2.0;
+            let y: f32 = rng.gen::<f32>() * 4.0 - 2.0;
+            let mut labels = Vec::new();
+            if x > 0.0 {
+                labels.push(0);
+            }
+            if y > 0.0 {
+                labels.push(1);
+            }
+            xs.push(vec![x, y]);
+            ls.push(labels);
+        }
+        let model = OneVsRestModel::fit(&xs, &ls, 2, &TrainConfig::default());
+        let p = model.predict_proba(&[1.5, -1.5]);
+        assert!(p[0] > 0.7 && p[1] < 0.3, "p={p:?}");
+        let p = model.predict_proba(&[-1.5, 1.5]);
+        assert!(p[0] < 0.3 && p[1] > 0.7, "p={p:?}");
+    }
+
+    #[test]
+    fn trained_model_enum_dispatch() {
+        let (xs, ys) = blob_dataset(20, &[[0.0, 0.0], [5.0, 5.0]], 0.5, 5);
+        let m = TrainedModel::Softmax(SoftmaxModel::fit(&xs, &ys, 2, &TrainConfig::default()));
+        assert_eq!(m.kind(), LabelKind::SingleLabel);
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.predict_proba(&xs[0]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_rejects_empty_training_set() {
+        SoftmaxModel::fit(&[], &[], 2, &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn fit_rejects_out_of_range_label() {
+        SoftmaxModel::fit(
+            &[vec![0.0, 1.0], vec![1.0, 0.0]],
+            &[0, 5],
+            2,
+            &TrainConfig::default(),
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = blob_dataset(30, &[[0.0, 0.0], [3.0, 3.0]], 1.0, 6);
+        let cfg = TrainConfig::default();
+        let a = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
+        let b = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
+        assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+}

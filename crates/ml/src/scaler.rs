@@ -1,0 +1,140 @@
+//! Feature standardization.
+//!
+//! Linear probes on pretrained embeddings are sensitive to per-dimension
+//! scale. The Model Manager standardizes features (zero mean, unit variance
+//! per dimension, computed on the training split only) before fitting, which
+//! also keeps the SGD learning-rate defaults stable across the very different
+//! embedding geometries produced by different feature extractors.
+
+/// Per-dimension standardizer (z-score).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on the given rows.
+    ///
+    /// Dimensions with zero variance are left unscaled (std treated as 1) so
+    /// constant features do not blow up to NaN.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "ragged rows");
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for row in rows {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; dim];
+        for row in rows {
+            for ((v, &x), m) in var.iter_mut().zip(row).zip(&mean) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Transforms a single vector.
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a batch of vectors.
+    pub fn transform_batch(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Convenience: fit on `rows` and return the transformed rows plus the
+    /// fitted scaler.
+    pub fn fit_transform(rows: &[Vec<f32>]) -> (Vec<Vec<f32>>, Self) {
+        let scaler = Self::fit(rows);
+        (scaler.transform_batch(rows), scaler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_zero_mean_unit_variance() {
+        let rows = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
+        let (out, _scaler) = StandardScaler::fit_transform(&rows);
+        let n = out.len() as f32;
+        for d in 0..2 {
+            let mean: f32 = out.iter().map(|r| r[d]).sum::<f32>() / n;
+            let var: f32 = out.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / n;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_left_alone() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let (out, _) = StandardScaler::fit_transform(&rows);
+        assert!(out.iter().all(|r| r[0].is_finite()));
+        assert!((out[0][0] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let scaler = StandardScaler::fit(&rows);
+        // mean 5, std 5 -> 20 maps to 3.
+        assert!((scaler.transform(&[20.0])[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_input() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension_on_transform() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        scaler.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Eager feature-extraction planning (`VE-full`, Section 4.2).
+//!
+//! While the user labels the current batch (`B · T_user` seconds of idle
+//! compute), `VE-full` schedules low-priority `T_f⁻` tasks that extract
+//! features from randomly chosen unlabeled videos. The prototype batches
+//! `|s| = 10` videos per scheduling round to amortize pipeline setup, and
+//! schedules one `T_f⁻` task per (video, candidate feature) pair — so the
+//! fewer candidate features remain, the faster the covered set `S` grows.
+//! A guardrail caps the total number of videos processed eagerly so the user
+//! does not pay for GPU time they will never benefit from.
+
+/// Plan for one labeling window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EagerExtractionPlan {
+    /// Number of videos to extract this round.
+    pub videos: usize,
+    /// Total `T_f⁻` tasks (videos × candidate features).
+    pub tasks: usize,
+    /// Estimated GPU seconds those tasks need.
+    pub estimated_secs: f64,
+    /// Whether the guardrail stopped further eager extraction.
+    pub stopped_by_guardrail: bool,
+}
+
+/// Planner for eager feature extraction.
+#[derive(Debug, Clone)]
+pub struct EagerPlanner {
+    /// Batch of videos scheduled per round (`|s|`, prototype: 10).
+    pub batch_videos: usize,
+    /// Maximum fraction of the corpus to process eagerly (guardrail; 1.0
+    /// disables the guardrail).
+    pub max_fraction_of_corpus: f64,
+    processed_videos: usize,
+}
+
+impl Default for EagerPlanner {
+    fn default() -> Self {
+        Self {
+            batch_videos: 10,
+            max_fraction_of_corpus: 1.0,
+            processed_videos: 0,
+        }
+    }
+}
+
+impl EagerPlanner {
+    /// Creates a planner with the prototype's defaults (`|s| = 10`, no
+    /// guardrail).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the guardrail as a fraction of the corpus.
+    ///
+    /// # Panics
+    /// Panics if the fraction is outside `(0, 1]`.
+    pub fn with_guardrail(mut self, max_fraction_of_corpus: f64) -> Self {
+        assert!(
+            max_fraction_of_corpus > 0.0 && max_fraction_of_corpus <= 1.0,
+            "guardrail fraction must be in (0, 1]"
+        );
+        self.max_fraction_of_corpus = max_fraction_of_corpus;
+        self
+    }
+
+    /// Number of videos already processed eagerly.
+    pub fn processed_videos(&self) -> usize {
+        self.processed_videos
+    }
+
+    /// Plans the next round of eager extraction.
+    ///
+    /// * `unprocessed_videos` — videos that still lack features for the
+    ///   surviving candidate extractors.
+    /// * `corpus_size` — total number of videos (for the guardrail).
+    /// * `candidate_features` — candidate extractors still alive (`k`).
+    /// * `per_video_secs` — estimated extraction cost per (video, feature).
+    /// * `queue_has_foreground_work` — `VE-full` only schedules eager tasks
+    ///   when the task queue is otherwise empty.
+    pub fn plan(
+        &mut self,
+        unprocessed_videos: usize,
+        corpus_size: usize,
+        candidate_features: usize,
+        per_video_secs: f64,
+        queue_has_foreground_work: bool,
+    ) -> EagerExtractionPlan {
+        if queue_has_foreground_work || candidate_features == 0 {
+            return EagerExtractionPlan {
+                videos: 0,
+                tasks: 0,
+                estimated_secs: 0.0,
+                stopped_by_guardrail: false,
+            };
+        }
+        let cap = (corpus_size as f64 * self.max_fraction_of_corpus).floor() as usize;
+        if self.processed_videos >= cap {
+            return EagerExtractionPlan {
+                videos: 0,
+                tasks: 0,
+                estimated_secs: 0.0,
+                stopped_by_guardrail: true,
+            };
+        }
+        let remaining_budget = cap - self.processed_videos;
+        let videos = self
+            .batch_videos
+            .min(unprocessed_videos)
+            .min(remaining_budget);
+        self.processed_videos += videos;
+        let tasks = videos * candidate_features;
+        EagerExtractionPlan {
+            videos,
+            tasks,
+            estimated_secs: tasks as f64 * per_video_secs,
+            stopped_by_guardrail: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_batch_of_ten_videos_per_round() {
+        let mut p = EagerPlanner::new();
+        let plan = p.plan(1000, 1000, 5, 0.3, false);
+        assert_eq!(plan.videos, 10);
+        assert_eq!(plan.tasks, 50);
+        assert!((plan.estimated_secs - 15.0).abs() < 1e-9);
+        assert!(!plan.stopped_by_guardrail);
+    }
+
+    #[test]
+    fn fewer_candidate_features_means_fewer_tasks() {
+        // Once the bandit converges to one feature, the same labeling window
+        // covers 5x more videos per unit of GPU time.
+        let mut p5 = EagerPlanner::new();
+        let mut p1 = EagerPlanner::new();
+        let plan5 = p5.plan(1000, 1000, 5, 0.3, false);
+        let plan1 = p1.plan(1000, 1000, 1, 0.3, false);
+        assert_eq!(plan5.videos, plan1.videos);
+        assert_eq!(plan1.tasks * 5, plan5.tasks);
+    }
+
+    #[test]
+    fn defers_to_foreground_work() {
+        let mut p = EagerPlanner::new();
+        let plan = p.plan(1000, 1000, 5, 0.3, true);
+        assert_eq!(plan.videos, 0);
+        assert_eq!(p.processed_videos(), 0);
+    }
+
+    #[test]
+    fn stops_when_corpus_is_exhausted() {
+        let mut p = EagerPlanner::new();
+        let plan = p.plan(3, 1000, 2, 0.3, false);
+        assert_eq!(plan.videos, 3);
+        let plan = p.plan(0, 1000, 2, 0.3, false);
+        assert_eq!(plan.videos, 0);
+    }
+
+    #[test]
+    fn guardrail_caps_total_processed_videos() {
+        let mut p = EagerPlanner::new().with_guardrail(0.02); // 2% of 1000 = 20 videos
+        let mut total = 0;
+        let mut stopped = false;
+        for _ in 0..10 {
+            let plan = p.plan(1000, 1000, 1, 0.3, false);
+            total += plan.videos;
+            if plan.stopped_by_guardrail {
+                stopped = true;
+                break;
+            }
+        }
+        assert_eq!(total, 20);
+        assert!(stopped);
+        assert_eq!(p.processed_videos(), 20);
+    }
+
+    #[test]
+    fn zero_candidates_schedules_nothing() {
+        let mut p = EagerPlanner::new();
+        let plan = p.plan(100, 100, 0, 0.3, false);
+        assert_eq!(plan.tasks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "guardrail fraction")]
+    fn rejects_invalid_guardrail() {
+        EagerPlanner::new().with_guardrail(0.0);
+    }
+}

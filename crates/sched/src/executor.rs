@@ -1,0 +1,264 @@
+//! A small priority-aware worker pool for running real (in-process) tasks.
+//!
+//! The paper's prototype runs feature extraction, training, and evaluation on
+//! a limited pool of compute resources ("only a subset of submitted tasks can
+//! execute at once"). This executor reproduces that constraint with a fixed
+//! number of worker threads pulling closures from a shared priority queue:
+//! critical work always runs before normal work, which runs before
+//! background (eager) work.
+
+use crate::task::Priority;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct SharedQueue {
+    critical: VecDeque<Job>,
+    normal: VecDeque<Job>,
+    background: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl SharedQueue {
+    fn push(&mut self, priority: Priority, job: Job) {
+        match priority {
+            Priority::Critical => self.critical.push_back(job),
+            Priority::Normal => self.normal.push_back(job),
+            Priority::Background => self.background.push_back(job),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        self.critical
+            .pop_front()
+            .or_else(|| self.normal.pop_front())
+            .or_else(|| self.background.pop_front())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.critical.is_empty() && self.normal.is_empty() && self.background.is_empty()
+    }
+}
+
+struct Inner {
+    queue: Mutex<SharedQueue>,
+    available: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    running: AtomicBool,
+}
+
+/// Counters describing executor activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Jobs submitted since creation.
+    pub submitted: u64,
+    /// Jobs that have finished running.
+    pub completed: u64,
+}
+
+/// Priority-aware thread-pool executor.
+pub struct Executor {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    /// Kept so tests can assert results flow back; not used internally.
+    _result_tx: Sender<()>,
+}
+
+impl Executor {
+    /// Starts an executor with `workers` threads.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(SharedQueue::default()),
+            available: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+        });
+        let (tx, _rx) = unbounded();
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ve-sched-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn worker"),
+            );
+        }
+        Self {
+            inner,
+            workers: handles,
+            _result_tx: tx,
+        }
+    }
+
+    /// Submits a closure at the given priority.
+    pub fn submit<F>(&self, priority: Priority, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut q = self.inner.queue.lock();
+            q.push(priority, Box::new(job));
+        }
+        self.inner.available.notify_one();
+    }
+
+    /// Blocks until every submitted job has completed.
+    pub fn wait_idle(&self) {
+        loop {
+            let pending = {
+                let q = self.inner.queue.lock();
+                !q.is_empty()
+            };
+            let submitted = self.inner.submitted.load(Ordering::SeqCst);
+            let completed = self.inner.completed.load(Ordering::SeqCst);
+            if !pending && submitted == completed {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            submitted: self.inner.submitted.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        {
+            let mut q = self.inner.queue.lock();
+            q.shutdown = true;
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.pop() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                inner.available.wait(&mut q);
+            }
+        };
+        match job {
+            Some(job) => {
+                job();
+                inner.completed.fetch_add(1, Ordering::SeqCst);
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn runs_all_submitted_jobs() {
+        let ex = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            ex.submit(Priority::Normal, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ex.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        let stats = ex.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.completed, 100);
+    }
+
+    #[test]
+    fn critical_jobs_run_before_background_jobs() {
+        // Single worker so execution order equals queue order.
+        let ex = Executor::new(1);
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        // Block the worker briefly so all submissions are queued before any
+        // execution starts.
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(Priority::Critical, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            ex.submit(Priority::Background, move || {
+                order.lock().unwrap().push(format!("bg-{i}"));
+            });
+        }
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            ex.submit(Priority::Critical, move || {
+                order.lock().unwrap().push(format!("crit-{i}"));
+            });
+        }
+        gate.store(true, Ordering::SeqCst);
+        ex.wait_idle();
+        let order = order.lock().unwrap().clone();
+        assert_eq!(
+            order,
+            vec!["crit-0", "crit-1", "crit-2", "bg-0", "bg-1", "bg-2"],
+            "critical work must preempt queued background work"
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let ex = Executor::new(2);
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                ex.submit(Priority::Normal, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ex.wait_idle();
+        } // drop here
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        Executor::new(0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Just-in-time model training (Section 4.1).
+//!
+//! Scheduling a training task after every label floods the queue and wastes
+//! work (most of those models are never used); scheduling only at the end of
+//! an iteration leaves the user looking at a stale model. The ALM instead
+//! tracks the observed labeling time `T_user` and training latency `T_m` and
+//! schedules one training task after
+//! `max(0, B − ⌈T_m / T_user⌉)` labels of the current batch have arrived —
+//! the latest point at which the model can still be ready for the next
+//! iteration. When training takes longer than a whole iteration the task is
+//! scheduled at the first label and the model is expected to be ready
+//! `⌈T_m / (B·T_user)⌉` iterations later.
+
+/// Decision produced by the policy for one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingSchedule {
+    /// Schedule the training task after this many labels of the batch have
+    /// been collected (0-based count; 0 means "immediately, at the first
+    /// label").
+    pub schedule_after_labels: usize,
+    /// Number of iterations after the current one before the trained model is
+    /// expected to be available for inference (1 = ready by the next call).
+    pub ready_in_iterations: usize,
+}
+
+/// Policy tracking observed `T_user` and `T_m` with exponential smoothing and
+/// emitting per-iteration schedules.
+#[derive(Debug, Clone)]
+pub struct JitTrainingPolicy {
+    batch_size: usize,
+    avg_t_user: f64,
+    avg_t_train: f64,
+    alpha: f64,
+    observed_user: usize,
+    observed_train: usize,
+}
+
+impl JitTrainingPolicy {
+    /// Creates a policy with initial estimates of the labeling time and
+    /// training latency.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` or the initial estimates are not positive.
+    pub fn new(batch_size: usize, initial_t_user: f64, initial_t_train: f64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(initial_t_user > 0.0, "T_user estimate must be positive");
+        assert!(initial_t_train > 0.0, "T_m estimate must be positive");
+        Self {
+            batch_size,
+            avg_t_user: initial_t_user,
+            avg_t_train: initial_t_train,
+            alpha: 0.3,
+            observed_user: 0,
+            observed_train: 0,
+        }
+    }
+
+    /// Batch size `B`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Current estimate of the per-label labeling time.
+    pub fn t_user(&self) -> f64 {
+        self.avg_t_user
+    }
+
+    /// Current estimate of the training latency.
+    pub fn t_train(&self) -> f64 {
+        self.avg_t_train
+    }
+
+    /// Records an observed labeling duration for one segment.
+    pub fn observe_labeling(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.avg_t_user = blend(self.avg_t_user, seconds, self.alpha, self.observed_user);
+        self.observed_user += 1;
+    }
+
+    /// Records an observed model-training duration.
+    pub fn observe_training(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.avg_t_train = blend(self.avg_t_train, seconds, self.alpha, self.observed_train);
+        self.observed_train += 1;
+    }
+
+    /// Computes the schedule for the next iteration from the current
+    /// estimates.
+    pub fn schedule(&self) -> TrainingSchedule {
+        let b = self.batch_size;
+        let iters_needed = (self.avg_t_train / self.avg_t_user).ceil() as usize;
+        let after = b.saturating_sub(iters_needed.max(1));
+        // When training cannot finish within the remaining labeling time of
+        // this batch, it is scheduled at the first label and becomes ready
+        // ceil(T_m / (B * T_user)) iterations later.
+        let ready_in = if iters_needed >= b {
+            ((self.avg_t_train / (b as f64 * self.avg_t_user)).ceil() as usize).max(1)
+        } else {
+            1
+        };
+        TrainingSchedule {
+            schedule_after_labels: after,
+            ready_in_iterations: ready_in,
+        }
+    }
+}
+
+fn blend(current: f64, observation: f64, alpha: f64, observed: usize) -> f64 {
+    if observed == 0 {
+        observation
+    } else {
+        alpha * observation + (1.0 - alpha) * current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_training_schedules_at_last_label() {
+        // T_m (2 s) < T_user (10 s): schedule while the user labels the last
+        // example, i.e. after B - 1 = 4 labels.
+        let policy = JitTrainingPolicy::new(5, 10.0, 2.0);
+        let s = policy.schedule();
+        assert_eq!(s.schedule_after_labels, 4);
+        assert_eq!(s.ready_in_iterations, 1);
+    }
+
+    #[test]
+    fn moderate_training_schedules_earlier() {
+        // T_m = 25 s, T_user = 10 s -> ceil(25/10) = 3 -> schedule after 2 labels.
+        let policy = JitTrainingPolicy::new(5, 10.0, 25.0);
+        let s = policy.schedule();
+        assert_eq!(s.schedule_after_labels, 2);
+        assert_eq!(s.ready_in_iterations, 1);
+    }
+
+    #[test]
+    fn slow_training_schedules_immediately_and_spans_iterations() {
+        // T_m = 120 s > B * T_user = 50 s: schedule at the first label and
+        // expect the model ceil(120/50) = 3 iterations later.
+        let policy = JitTrainingPolicy::new(5, 10.0, 120.0);
+        let s = policy.schedule();
+        assert_eq!(s.schedule_after_labels, 0);
+        assert_eq!(s.ready_in_iterations, 3);
+    }
+
+    #[test]
+    fn boundary_training_equal_to_iteration() {
+        // T_m exactly B * T_user: still scheduled at the first label.
+        let policy = JitTrainingPolicy::new(5, 10.0, 50.0);
+        let s = policy.schedule();
+        assert_eq!(s.schedule_after_labels, 0);
+        assert_eq!(s.ready_in_iterations, 1);
+    }
+
+    #[test]
+    fn estimates_adapt_to_observations() {
+        let mut policy = JitTrainingPolicy::new(5, 10.0, 2.0);
+        // The user turns out to be much faster and training much slower.
+        for _ in 0..20 {
+            policy.observe_labeling(1.0);
+            policy.observe_training(30.0);
+        }
+        assert!(policy.t_user() < 2.0);
+        assert!(policy.t_train() > 20.0);
+        let s = policy.schedule();
+        assert_eq!(s.schedule_after_labels, 0, "slow training now needs a head start");
+        assert!(s.ready_in_iterations >= 3);
+    }
+
+    #[test]
+    fn first_observation_replaces_initial_estimate() {
+        let mut policy = JitTrainingPolicy::new(5, 10.0, 2.0);
+        policy.observe_labeling(4.0);
+        assert!((policy.t_user() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        JitTrainingPolicy::new(0, 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "T_user estimate must be positive")]
+    fn rejects_non_positive_t_user() {
+        JitTrainingPolicy::new(5, 0.0, 1.0);
+    }
+}

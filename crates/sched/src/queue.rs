@@ -1,0 +1,153 @@
+//! A priority task queue: Critical before Normal before Background, FIFO
+//! within each priority class. This is the ordering that lets `VE-full`
+//! enqueue eager feature-extraction work without ever delaying a task that a
+//! pending API call is waiting on.
+
+use crate::task::{Priority, Task, TaskId, TaskKind};
+use std::collections::VecDeque;
+
+/// FIFO-within-priority task queue.
+#[derive(Debug, Default)]
+pub struct PriorityTaskQueue {
+    critical: VecDeque<Task>,
+    normal: VecDeque<Task>,
+    background: VecDeque<Task>,
+    next_id: u64,
+}
+
+impl PriorityTaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a task built from its parts, assigning it a fresh id.
+    pub fn submit(&mut self, kind: TaskKind, cost_secs: f64, tag: impl Into<String>) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.push(Task::new(id, kind, cost_secs, tag));
+        id
+    }
+
+    /// Enqueues an already-constructed task (its id is preserved).
+    pub fn push(&mut self, task: Task) {
+        self.next_id = self.next_id.max(task.id.0 + 1);
+        match task.priority {
+            Priority::Critical => self.critical.push_back(task),
+            Priority::Normal => self.normal.push_back(task),
+            Priority::Background => self.background.push_back(task),
+        }
+    }
+
+    /// Removes and returns the highest-priority task.
+    pub fn pop(&mut self) -> Option<Task> {
+        self.critical
+            .pop_front()
+            .or_else(|| self.normal.pop_front())
+            .or_else(|| self.background.pop_front())
+    }
+
+    /// Peeks at the task that `pop` would return.
+    pub fn peek(&self) -> Option<&Task> {
+        self.critical
+            .front()
+            .or_else(|| self.normal.front())
+            .or_else(|| self.background.front())
+    }
+
+    /// Total number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.critical.len() + self.normal.len() + self.background.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of queued tasks at the given priority.
+    pub fn len_at(&self, priority: Priority) -> usize {
+        match priority {
+            Priority::Critical => self.critical.len(),
+            Priority::Normal => self.normal.len(),
+            Priority::Background => self.background.len(),
+        }
+    }
+
+    /// Whether any non-background work is pending — the condition `VE-full`
+    /// checks before enqueueing more eager extraction ("whenever the task
+    /// queue is empty").
+    pub fn has_foreground_work(&self) -> bool {
+        !self.critical.is_empty() || !self.normal.is_empty()
+    }
+
+    /// Drops every queued background task (the guardrail for stopping eager
+    /// extraction); returns how many were removed.
+    pub fn cancel_background(&mut self) -> usize {
+        let n = self.background.len();
+        self.background.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_then_fifo_order() {
+        let mut q = PriorityTaskQueue::new();
+        q.submit(TaskKind::EagerFeatureExtraction, 1.0, "bg-1");
+        q.submit(TaskKind::ModelTraining, 1.0, "train-1");
+        q.submit(TaskKind::ModelInference, 1.0, "infer-1");
+        q.submit(TaskKind::ModelInference, 1.0, "infer-2");
+        q.submit(TaskKind::FeatureEvaluation, 1.0, "eval-1");
+
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|t| t.tag).collect();
+        assert_eq!(order, vec!["infer-1", "infer-2", "train-1", "eval-1", "bg-1"]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = PriorityTaskQueue::new();
+        q.submit(TaskKind::ModelTraining, 1.0, "a");
+        q.submit(TaskKind::SampleSelection, 1.0, "b");
+        assert_eq!(q.peek().unwrap().tag, "b");
+        assert_eq!(q.pop().unwrap().tag, "b");
+        assert_eq!(q.pop().unwrap().tag, "a");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn counts_and_foreground_check() {
+        let mut q = PriorityTaskQueue::new();
+        assert!(!q.has_foreground_work());
+        q.submit(TaskKind::EagerFeatureExtraction, 1.0, "bg");
+        assert!(!q.has_foreground_work(), "background work alone is not foreground");
+        q.submit(TaskKind::ModelTraining, 1.0, "train");
+        assert!(q.has_foreground_work());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.len_at(Priority::Background), 1);
+        assert_eq!(q.len_at(Priority::Normal), 1);
+        assert_eq!(q.len_at(Priority::Critical), 0);
+    }
+
+    #[test]
+    fn cancel_background_only_touches_background() {
+        let mut q = PriorityTaskQueue::new();
+        q.submit(TaskKind::EagerFeatureExtraction, 1.0, "bg1");
+        q.submit(TaskKind::EagerFeatureExtraction, 1.0, "bg2");
+        q.submit(TaskKind::ModelInference, 1.0, "crit");
+        assert_eq!(q.cancel_background(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().tag, "crit");
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut q = PriorityTaskQueue::new();
+        let a = q.submit(TaskKind::ModelTraining, 1.0, "a");
+        let b = q.submit(TaskKind::ModelTraining, 1.0, "b");
+        assert!(b > a);
+    }
+}

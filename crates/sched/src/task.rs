@@ -1,0 +1,158 @@
+//! Task descriptors.
+
+/// Identifier assigned to a scheduled task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// The paper's task taxonomy (Section 4, Background).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// `T_s` — sample selection (pick one video segment to return).
+    SampleSelection,
+    /// `T_f` — feature extraction required to answer the current call.
+    FeatureExtraction,
+    /// `T_i` — model inference over one sampled segment.
+    ModelInference,
+    /// `T_m` — model training.
+    ModelTraining,
+    /// `T_e` — feature-quality evaluation for one candidate feature.
+    FeatureEvaluation,
+    /// `T_f⁻` — eager (background) feature extraction of unlabeled videos.
+    EagerFeatureExtraction,
+}
+
+impl TaskKind {
+    /// Short label used in logs and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskKind::SampleSelection => "Ts",
+            TaskKind::FeatureExtraction => "Tf",
+            TaskKind::ModelInference => "Ti",
+            TaskKind::ModelTraining => "Tm",
+            TaskKind::FeatureEvaluation => "Te",
+            TaskKind::EagerFeatureExtraction => "Tf-",
+        }
+    }
+
+    /// Whether the task must complete before `Explore` can return under the
+    /// `VE-partial` / `VE-full` strategies (Section 4.1: "only selecting
+    /// video segments, extracting features from them if not already
+    /// available, and performing model inference are required to return").
+    pub fn is_critical(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::SampleSelection | TaskKind::FeatureExtraction | TaskKind::ModelInference
+        )
+    }
+}
+
+/// Scheduling priority. Lower ordinal = runs first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Blocks an API response (Ts, Tf, Ti for the current call).
+    Critical,
+    /// Asynchronous but time-sensitive (Tm, Te).
+    Normal,
+    /// Opportunistic background work (Tf⁻); always yields to other tasks.
+    Background,
+}
+
+impl Priority {
+    /// Default priority for a task kind under the optimized strategies.
+    pub fn for_kind(kind: TaskKind) -> Self {
+        match kind {
+            k if k.is_critical() => Priority::Critical,
+            TaskKind::EagerFeatureExtraction => Priority::Background,
+            _ => Priority::Normal,
+        }
+    }
+}
+
+/// A schedulable unit of work with a simulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Identifier (assigned by the queue or clock).
+    pub id: TaskId,
+    /// Task type.
+    pub kind: TaskKind,
+    /// Priority class.
+    pub priority: Priority,
+    /// Simulated execution cost in seconds (derived from Table 3 throughputs
+    /// for `T_f`, from measured wall-clock time for the in-process tasks).
+    pub cost_secs: f64,
+    /// Free-form tag identifying the work (video id, extractor, ...).
+    pub tag: String,
+}
+
+impl Task {
+    /// Creates a task with the default priority for its kind.
+    pub fn new(id: TaskId, kind: TaskKind, cost_secs: f64, tag: impl Into<String>) -> Self {
+        assert!(cost_secs >= 0.0, "task cost must be non-negative");
+        Self {
+            id,
+            kind,
+            priority: Priority::for_kind(kind),
+            cost_secs,
+            tag: tag.into(),
+        }
+    }
+
+    /// Overrides the priority (used by the Serial strategy, which treats
+    /// everything as critical).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_kinds() {
+        assert!(TaskKind::SampleSelection.is_critical());
+        assert!(TaskKind::FeatureExtraction.is_critical());
+        assert!(TaskKind::ModelInference.is_critical());
+        assert!(!TaskKind::ModelTraining.is_critical());
+        assert!(!TaskKind::FeatureEvaluation.is_critical());
+        assert!(!TaskKind::EagerFeatureExtraction.is_critical());
+    }
+
+    #[test]
+    fn default_priorities() {
+        assert_eq!(Priority::for_kind(TaskKind::ModelInference), Priority::Critical);
+        assert_eq!(Priority::for_kind(TaskKind::ModelTraining), Priority::Normal);
+        assert_eq!(
+            Priority::for_kind(TaskKind::EagerFeatureExtraction),
+            Priority::Background
+        );
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::Critical < Priority::Normal);
+        assert!(Priority::Normal < Priority::Background);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TaskKind::EagerFeatureExtraction.label(), "Tf-");
+        assert_eq!(TaskKind::ModelTraining.label(), "Tm");
+    }
+
+    #[test]
+    fn task_construction_and_priority_override() {
+        let t = Task::new(TaskId(1), TaskKind::ModelTraining, 2.5, "train MViT");
+        assert_eq!(t.priority, Priority::Normal);
+        let t = t.with_priority(Priority::Critical);
+        assert_eq!(t.priority, Priority::Critical);
+        assert_eq!(t.cost_secs, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_cost() {
+        Task::new(TaskId(0), TaskKind::ModelInference, -1.0, "bad");
+    }
+}

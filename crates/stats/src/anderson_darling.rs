@@ -1,0 +1,323 @@
+//! The k-sample Anderson–Darling test (Scholz & Stephens, 1987).
+//!
+//! `VE-sample` compares the label distribution observed so far against a
+//! baseline uniform distribution and switches from random sampling to active
+//! learning once the test reports `p <= 0.001` (Section 3.1.2 of the paper).
+//!
+//! The implementation follows the discrete (midrank) version of the test,
+//! which is the variant appropriate for label counts where many observations
+//! are tied. The p-value is obtained from the standardized statistic using the
+//! interpolation formula of Scholz & Stephens as implemented by
+//! `scipy.stats.anderson_ksamp`.
+
+/// Result of the k-sample Anderson–Darling test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndersonDarlingResult {
+    /// The (midrank) A2akN statistic.
+    pub statistic: f64,
+    /// The statistic standardized by its mean and variance under H0.
+    pub standardized: f64,
+    /// Approximate significance level (p-value), capped to `[0.001, 0.25]`
+    /// as in `scipy.stats.anderson_ksamp`.
+    pub p_value: f64,
+}
+
+/// Runs the k-sample Anderson–Darling test on `samples`, where each inner
+/// slice holds the observations of one sample.
+///
+/// For VOCALExplore the first sample is the observed label histogram expanded
+/// to per-observation class indices and the second sample is a uniform
+/// baseline over the same classes (see [`crate::skew::SkewDetector`]).
+///
+/// # Panics
+/// Panics if fewer than two samples are provided or any sample is empty.
+pub fn k_sample_anderson_darling(samples: &[Vec<f64>]) -> AndersonDarlingResult {
+    assert!(samples.len() >= 2, "need at least two samples");
+    assert!(
+        samples.iter().all(|s| !s.is_empty()),
+        "all samples must be non-empty"
+    );
+
+    let k = samples.len();
+    let n: Vec<usize> = samples.iter().map(|s| s.len()).collect();
+    let big_n: usize = n.iter().sum();
+
+    // Pooled, sorted sample and the distinct values z_1 < ... < z_l.
+    let mut pooled: Vec<f64> = samples.iter().flatten().copied().collect();
+    pooled.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let mut z: Vec<f64> = Vec::with_capacity(pooled.len());
+    for &v in &pooled {
+        if z.last().is_none_or(|&last| v > last) {
+            z.push(v);
+        }
+    }
+    let l = z.len();
+    assert!(
+        l >= 2,
+        "pooled sample must contain at least two distinct values"
+    );
+
+    // l_j: number of pooled observations equal to z_j.
+    // f_ij: number of observations in sample i equal to z_j.
+    let mut lj = vec![0.0f64; l];
+    for &v in &pooled {
+        let j = z.partition_point(|&x| x < v);
+        lj[j] += 1.0;
+    }
+    let mut f = vec![vec![0.0f64; l]; k];
+    for (i, sample) in samples.iter().enumerate() {
+        for &v in sample {
+            let j = z.partition_point(|&x| x < v);
+            f[i][j] += 1.0;
+        }
+    }
+
+    // Midrank version of the statistic (eq. 7 of Scholz & Stephens).
+    let big_n_f = big_n as f64;
+    let mut a2akn = 0.0;
+    for i in 0..k {
+        let n_i = n[i] as f64;
+        let mut m_ij = 0.0; // cumulative count of sample i strictly before z_j
+        let mut b_j = 0.0; // cumulative pooled count strictly before z_j
+        let mut inner = 0.0;
+        for j in 0..l {
+            let lj_j = lj[j];
+            let ma_ij = m_ij + f[i][j] / 2.0; // midrank cumulative count
+            let ba_j = b_j + lj_j / 2.0;
+            let denom = ba_j * (big_n_f - ba_j) - big_n_f * lj_j / 4.0;
+            if denom > 0.0 {
+                let num = big_n_f * ma_ij - n_i * ba_j;
+                inner += lj_j / big_n_f * num * num / denom;
+            }
+            m_ij += f[i][j];
+            b_j += lj_j;
+        }
+        a2akn += inner / n_i;
+    }
+    a2akn *= (big_n_f - 1.0) / big_n_f;
+
+    // Mean and variance of the statistic under H0 (Scholz & Stephens, eq. 4-6).
+    let h: f64 = n.iter().map(|&ni| 1.0 / ni as f64).sum();
+    // Harmonic numbers H(1..N-1); hh = H(N-1).
+    let harmonic: Vec<f64> = std::iter::once(0.0)
+        .chain((1..big_n).scan(0.0, |acc, i| {
+            *acc += 1.0 / i as f64;
+            Some(*acc)
+        }))
+        .collect();
+    let hh = harmonic[big_n - 1];
+    // g = Σ_{i=1}^{N-2} Σ_{j=i+1}^{N-1} 1 / ((N - i) · j)
+    //   = Σ_{i=1}^{N-2} (H(N-1) - H(i)) / (N - i), computed in O(N).
+    let mut g = 0.0;
+    for (i, &h_i) in harmonic.iter().enumerate().take(big_n - 1).skip(1) {
+        g += (hh - h_i) / (big_n - i) as f64;
+    }
+    let k_f = k as f64;
+    let a = (4.0 * g - 6.0) * (k_f - 1.0) + (10.0 - 6.0 * g) * h;
+    let b = (2.0 * g - 4.0) * k_f * k_f + 8.0 * hh * k_f
+        + (2.0 * g - 14.0 * hh - 4.0) * h
+        - 8.0 * hh
+        + 4.0 * g
+        - 6.0;
+    let c = (6.0 * hh + 2.0 * g - 2.0) * k_f * k_f + (4.0 * hh - 4.0 * g + 6.0) * k_f
+        + (2.0 * hh - 6.0) * h
+        + 4.0 * hh;
+    let d = (2.0 * hh + 6.0) * k_f * k_f - 4.0 * hh * k_f;
+    let sigmasq = (a * big_n_f.powi(3) + b * big_n_f.powi(2) + c * big_n_f + d)
+        / ((big_n_f - 1.0) * (big_n_f - 2.0) * (big_n_f - 3.0));
+    let mean = k_f - 1.0;
+    let sigma = sigmasq.max(1e-12).sqrt();
+
+    let standardized = (a2akn - mean) / sigma;
+    let p_value = p_value_from_standardized(standardized, k_f - 1.0);
+
+    AndersonDarlingResult {
+        statistic: a2akn,
+        standardized,
+        p_value,
+    }
+}
+
+/// Interpolated p-value from the standardized statistic, following
+/// Scholz & Stephens Table 2 / `scipy.stats.anderson_ksamp`.
+///
+/// Critical values are tabulated at significance levels
+/// 25%, 10%, 5%, 2.5%, 1%, 0.5%, 0.1%; a quadratic fit of
+/// `log(significance)` against the critical values is used to interpolate.
+/// Outside the tabulated range the value is capped to `[0.001, 0.25]`, the
+/// same behaviour as `scipy.stats.anderson_ksamp`.
+fn p_value_from_standardized(tkn: f64, m: f64) -> f64 {
+    // Coefficients b0, b1, b2 from Scholz & Stephens (1987), Table 2.
+    let b0 = [0.675, 1.281, 1.645, 1.960, 2.326, 2.573, 3.085];
+    let b1 = [-0.245, 0.250, 0.678, 1.149, 1.822, 2.364, 3.615];
+    let b2 = [-0.105, -0.305, -0.362, -0.391, -0.396, -0.345, -0.154];
+    let sig = [0.25, 0.10, 0.05, 0.025, 0.01, 0.005, 0.001];
+
+    let sqrt_m = m.sqrt();
+    let critical: Vec<f64> = (0..7)
+        .map(|i| b0[i] + b1[i] / sqrt_m + b2[i] / m)
+        .collect();
+    let log_sig: Vec<f64> = sig.iter().map(|s: &f64| s.ln()).collect();
+
+    // Outside the tabulated range the quadratic extrapolation is unreliable,
+    // so cap the p-value at the table endpoints exactly as scipy does
+    // ("p-value capped / floored" behaviour).
+    if tkn <= critical[0] {
+        return sig[0];
+    }
+    if tkn >= critical[6] {
+        return sig[6];
+    }
+
+    // Fit log(sig) = c0 + c1*t + c2*t^2 by least squares over the 7 points,
+    // then evaluate at tkn. This mirrors scipy's polyfit-based interpolation.
+    let (c0, c1, c2) = quadratic_fit(&critical, &log_sig);
+    let p = (c0 + c1 * tkn + c2 * tkn * tkn).exp();
+    p.clamp(sig[6], sig[0])
+}
+
+/// Least-squares quadratic fit returning coefficients (c0, c1, c2).
+fn quadratic_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let (mut sx, mut sx2, mut sx3, mut sx4) = (0.0, 0.0, 0.0, 0.0);
+    let (mut sy, mut sxy, mut sx2y) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let x2 = x * x;
+        sx += x;
+        sx2 += x2;
+        sx3 += x2 * x;
+        sx4 += x2 * x2;
+        sy += y;
+        sxy += x * y;
+        sx2y += x2 * y;
+    }
+    // Solve the 3x3 normal equations with Cramer's rule.
+    let a = [[n, sx, sx2], [sx, sx2, sx3], [sx2, sx3, sx4]];
+    let b = [sy, sxy, sx2y];
+    let det = det3(&a);
+    let mut a0 = a;
+    for i in 0..3 {
+        a0[i][0] = b[i];
+    }
+    let mut a1 = a;
+    for i in 0..3 {
+        a1[i][1] = b[i];
+    }
+    let mut a2 = a;
+    for i in 0..3 {
+        a2[i][2] = b[i];
+    }
+    (det3(&a0) / det, det3(&a1) / det, det3(&a2) / det)
+}
+
+fn det3(m: &[[f64; 3]; 3]) -> f64 {
+    m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Expand a class histogram into per-observation class indices (as f64),
+    /// matching how the skew detector feeds label counts into the test.
+    fn expand(hist: &[usize]) -> Vec<f64> {
+        hist.iter()
+            .enumerate()
+            .flat_map(|(class, &count)| std::iter::repeat_n(class as f64, count))
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = expand(&[10, 10, 10, 10]);
+        let b = expand(&[10, 10, 10, 10]);
+        let r = k_sample_anderson_darling(&[a, b]);
+        assert!(
+            r.p_value > 0.05,
+            "identical distributions should not be flagged: p={}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn strongly_skewed_sample_is_significant() {
+        // 90 labels of class 0, 2 of class 1, 2 of class 2 vs uniform baseline.
+        let observed = expand(&[90, 2, 2, 2]);
+        let uniform = expand(&[24, 24, 24, 24]);
+        let r = k_sample_anderson_darling(&[observed, uniform]);
+        assert!(
+            r.p_value <= 0.001,
+            "heavy skew must be detected: p={}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn slight_imbalance_with_few_labels_not_significant() {
+        // 6 vs 4 labels over two classes: far too little evidence.
+        let observed = expand(&[6, 4]);
+        let uniform = expand(&[5, 5]);
+        let r = k_sample_anderson_darling(&[observed, uniform]);
+        assert!(r.p_value > 0.001, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn slight_imbalance_with_many_labels_becomes_significant() {
+        // The paper notes the AD test eventually flags 51/49-style imbalance
+        // given enough labels (Section 3.1); verify the trend with 60/40.
+        let observed = expand(&[1200, 800]);
+        let uniform = expand(&[1000, 1000]);
+        let r = k_sample_anderson_darling(&[observed, uniform]);
+        assert!(
+            r.p_value <= 0.001,
+            "large-sample moderate imbalance should be flagged: p={}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn statistic_is_finite_and_positive_under_h1() {
+        let observed = expand(&[50, 5, 5]);
+        let uniform = expand(&[20, 20, 20]);
+        let r = k_sample_anderson_darling(&[observed, uniform]);
+        assert!(r.statistic.is_finite());
+        assert!(r.standardized.is_finite());
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn p_value_monotone_in_skew() {
+        let uniform = expand(&[30, 30, 30]);
+        let mild = expand(&[40, 30, 20]);
+        let heavy = expand(&[80, 8, 2]);
+        let p_mild = k_sample_anderson_darling(&[mild, uniform.clone()]).p_value;
+        let p_heavy = k_sample_anderson_darling(&[heavy, uniform]).p_value;
+        assert!(
+            p_heavy <= p_mild,
+            "heavier skew must not have larger p-value: {p_heavy} vs {p_mild}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two samples")]
+    fn rejects_single_sample() {
+        k_sample_anderson_darling(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_sample() {
+        k_sample_anderson_darling(&[vec![1.0, 2.0], vec![]]);
+    }
+
+    #[test]
+    fn three_sample_variant_runs() {
+        let a = expand(&[10, 20, 30]);
+        let b = expand(&[20, 20, 20]);
+        let c = expand(&[30, 20, 10]);
+        let r = k_sample_anderson_darling(&[a, b, c]);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Random distributions used by the synthetic-corpus generator and the
+//! feature-embedding simulator: Zipfian class frequencies (the paper's K20
+//! (skew) construction uses Zipf with `s = 2`) and standard-normal sampling
+//! via the Box–Muller transform (so the workspace does not need `rand_distr`).
+
+use rand::Rng;
+
+/// Zipfian distribution over ranks `1..=k` with exponent `s`:
+/// `P[rank = r] ∝ 1 / r^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, one entry per rank.
+    cdf: Vec<f64>,
+    /// Normalized probabilities per rank.
+    probs: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `k` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `s < 0`.
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let raw: Vec<f64> = (1..=k).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, probs }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `r` (0-based).
+    pub fn prob(&self, r: usize) -> f64 {
+        self.probs[r]
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Computes per-class video counts following the paper's K20 (skew)
+/// construction: class frequencies follow a Zipf(s) distribution, scaled so
+/// the most common class has `max_count` videos and every class has at least
+/// `min_count`.
+///
+/// With `k = 20`, `s = 2.0`, `max_count = 650`, `min_count = 3` this
+/// reproduces the paper's "most common activity has 650 videos and the least
+/// common activity has 3 videos" (Section 5, Datasets).
+pub fn zipf_frequencies(k: usize, s: f64, max_count: usize, min_count: usize) -> Vec<usize> {
+    assert!(k > 0);
+    assert!(max_count >= min_count);
+    let zipf = Zipf::new(k, s);
+    let p0 = zipf.prob(0);
+    (0..k)
+        .map(|r| {
+            let scaled = (zipf.prob(r) / p0 * max_count as f64).round() as usize;
+            scaled.max(min_count)
+        })
+        .collect()
+}
+
+/// Standard-normal sampler using the Box–Muller transform with caching of the
+/// second generated variate.
+#[derive(Debug, Clone, Default)]
+pub struct BoxMuller {
+    cached: Option<f64>,
+}
+
+impl BoxMuller {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples one standard-normal value.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Samples a normal value with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = Zipf::new(20, 2.0);
+        let total: f64 = (0..20).map(|r| z.prob(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_probabilities_decrease_with_rank() {
+        let z = Zipf::new(10, 1.5);
+        for r in 1..10 {
+            assert!(z.prob(r) <= z.prob(r - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(5, 0.0);
+        for r in 0..5 {
+            assert!((z.prob(r) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_respects_ordering() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        // Empirical frequency of rank 0 should be near its probability.
+        let freq0 = counts[0] as f64 / 20_000.0;
+        assert!((freq0 - z.prob(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_frequencies_match_paper_k20_skew() {
+        let counts = zipf_frequencies(20, 2.0, 650, 3);
+        assert_eq!(counts.len(), 20);
+        assert_eq!(counts[0], 650, "most common class has 650 videos");
+        assert_eq!(*counts.last().unwrap(), 3, "least common class has 3 videos");
+        // Monotone non-increasing.
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Total should be close to the paper's 1050 training videos.
+        let total: usize = counts.iter().sum();
+        assert!(
+            (1000..1200).contains(&total),
+            "total {total} should be near the paper's 1050"
+        );
+    }
+
+    #[test]
+    fn box_muller_mean_and_variance() {
+        let mut bm = BoxMuller::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_with_mean_and_std() {
+        let mut bm = BoxMuller::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample_with(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Low-level numerical routines: log-gamma, beta functions, and the binomial
+//! distribution CDF used by the frequency-based skew test (Appendix A).
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~15 significant digits for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued-fraction
+/// expansion (Numerical Recipes `betacf`), used to evaluate binomial CDFs
+/// without summing potentially millions of terms.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "x must be within [0, 1], got {x}"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Use the symmetry relation to keep the continued fraction convergent;
+    // compute the mirrored branch directly rather than recursing so that the
+    // boundary case x == (a+1)/(a+b+2) cannot ping-pong between branches.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        let ln_front = x.ln() * a + (1.0 - x).ln() * b - ln_beta(a, b);
+        (ln_front.exp() * beta_continued_fraction(a, b, x)) / a
+    } else {
+        let ln_front = (1.0 - x).ln() * b + x.ln() * a - ln_beta(b, a);
+        1.0 - (ln_front.exp() * beta_continued_fraction(b, a, 1.0 - x)) / b
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-15;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Probability mass function of `Binomial(n, p)` evaluated at `k`.
+pub fn binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    if k > n {
+        return 0.0;
+    }
+    let (k, n) = (k as f64, n as f64);
+    let ln_choose = ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0);
+    (ln_choose + k * p.ln() + (n - k) * (1.0 - p).ln()).exp()
+}
+
+/// Cumulative distribution function `P[Binomial(n, p) <= k]`.
+///
+/// Implemented via the regularized incomplete beta function
+/// `P[X <= k] = I_{1-p}(n - k, k + 1)`, which is what
+/// `scipy.stats.binom.cdf` (used by the paper's prototype, Appendix A)
+/// computes internally.
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    if k >= n {
+        return 1.0;
+    }
+    regularized_incomplete_beta((n - k) as f64, (k + 1) as f64, 1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-10);
+        assert_close(ln_gamma(11.0), (3_628_800.0f64).ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = sqrt(pi)/2
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn ln_beta_symmetry() {
+        assert_close(ln_beta(2.5, 3.5), ln_beta(3.5, 2.5), 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_close(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0, 1e-15);
+        assert_close(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert_close(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 25;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(k, n, p)).sum();
+        assert_close(total, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn binomial_cdf_matches_direct_sum() {
+        let n = 40;
+        let p = 0.17;
+        for k in [0u64, 1, 5, 10, 20, 39, 40] {
+            let direct: f64 = (0..=k.min(n)).map(|i| binomial_pmf(i, n, p)).sum();
+            assert_close(binomial_cdf(k, n, p), direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn binomial_cdf_known_value() {
+        // P[Binomial(10, 0.5) <= 5] = 0.623046875
+        assert_close(binomial_cdf(5, 10, 0.5), 0.623_046_875, 1e-9);
+        // P[Binomial(100, 0.05) <= 2] ≈ 0.11826
+        assert_close(binomial_cdf(2, 100, 0.05), 0.118_263, 2e-5);
+    }
+
+    #[test]
+    fn binomial_cdf_degenerate_probabilities() {
+        assert_close(binomial_cdf(0, 10, 0.0), 1.0, 1e-15);
+        assert_close(binomial_cdf(3, 10, 1.0), 0.0, 1e-15);
+        assert_close(binomial_cdf(10, 10, 1.0), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_k() {
+        let n = 30;
+        let p = 0.4;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(k, n, p);
+            assert!(c + 1e-12 >= prev, "CDF must be non-decreasing");
+            prev = c;
+        }
+        assert_close(prev, 1.0, 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! The skew detector used by `VE-sample` (Section 3.1.2).
+//!
+//! The ALM tracks per-class label counts as the user labels video segments.
+//! After each batch it asks the detector whether the observed distribution is
+//! sufficiently skewed to justify switching to an active-learning acquisition
+//! function. Two tests are supported:
+//!
+//! * [`SkewTest::AndersonDarling`] — compare the observed label histogram to a
+//!   uniform baseline with the k-sample Anderson–Darling test and switch when
+//!   `p <= alpha` (paper default `alpha = 0.001`).
+//! * [`SkewTest::Frequency`] — the Appendix-A binomial bound with threshold
+//!   `m`; more conservative for slight imbalances.
+
+use crate::anderson_darling::k_sample_anderson_darling;
+use crate::freq_test::frequency_test_p_value;
+
+/// Which statistical test the detector applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SkewTest {
+    /// k-sample Anderson–Darling test against a uniform baseline.
+    AndersonDarling {
+        /// Significance level (paper default 0.001).
+        alpha: f64,
+    },
+    /// Frequency-based binomial test from Appendix A.
+    Frequency {
+        /// Multiplicative threshold `m >= 1`.
+        m: f64,
+        /// Significance level.
+        alpha: f64,
+    },
+}
+
+impl Default for SkewTest {
+    fn default() -> Self {
+        SkewTest::AndersonDarling { alpha: 0.001 }
+    }
+}
+
+/// Stateful skew detector holding the configured test.
+///
+/// Once the detector has fired it stays latched: the paper's `VE-sample`
+/// never switches back from active learning to random sampling within a
+/// session.
+#[derive(Debug, Clone)]
+pub struct SkewDetector {
+    test: SkewTest,
+    latched: bool,
+    /// Minimum number of labels before the detector will even evaluate the
+    /// test; with a handful of labels the distribution is pure noise.
+    min_labels: usize,
+}
+
+impl Default for SkewDetector {
+    fn default() -> Self {
+        Self::new(SkewTest::default())
+    }
+}
+
+impl SkewDetector {
+    /// Creates a detector with the given test and a minimum of 10 labels
+    /// before evaluation (matching the prototype's warm-up behaviour).
+    pub fn new(test: SkewTest) -> Self {
+        Self {
+            test,
+            latched: false,
+            min_labels: 10,
+        }
+    }
+
+    /// Overrides the warm-up threshold.
+    pub fn with_min_labels(mut self, min_labels: usize) -> Self {
+        self.min_labels = min_labels;
+        self
+    }
+
+    /// The configured test.
+    pub fn test(&self) -> SkewTest {
+        self.test
+    }
+
+    /// Whether the detector has already fired in this session.
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Computes the p-value of the configured test on per-class counts,
+    /// without latching.
+    pub fn p_value(&self, counts: &[u64]) -> f64 {
+        let n: u64 = counts.iter().sum();
+        if counts.len() < 2 || n == 0 {
+            return 1.0;
+        }
+        match self.test {
+            SkewTest::AndersonDarling { .. } => {
+                // Expand the histogram into per-observation class indices and
+                // compare against a uniform baseline with the same total.
+                let observed: Vec<f64> = counts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(class, &c)| std::iter::repeat_n(class as f64, c as usize))
+                    .collect();
+                let k = counts.len();
+                let per_class = ((n as usize) / k).max(1);
+                let uniform: Vec<f64> = (0..k)
+                    .flat_map(|class| std::iter::repeat_n(class as f64, per_class))
+                    .collect();
+                if observed.is_empty() || uniform.is_empty() {
+                    return 1.0;
+                }
+                // Degenerate case: every observation in one class and a
+                // single-class baseline would make the pooled sample constant.
+                let distinct_observed = counts.iter().filter(|&&c| c > 0).count();
+                if distinct_observed < 1 {
+                    return 1.0;
+                }
+                k_sample_anderson_darling(&[observed, uniform]).p_value
+            }
+            SkewTest::Frequency { m, .. } => frequency_test_p_value(counts, m),
+        }
+    }
+
+    /// Evaluates the detector on the current per-class counts and returns
+    /// whether the distribution is considered skewed. Latches on the first
+    /// positive result.
+    pub fn observe(&mut self, counts: &[u64]) -> bool {
+        if self.latched {
+            return true;
+        }
+        let n: u64 = counts.iter().sum();
+        if (n as usize) < self.min_labels {
+            return false;
+        }
+        let alpha = match self.test {
+            SkewTest::AndersonDarling { alpha } => alpha,
+            SkewTest::Frequency { alpha, .. } => alpha,
+        };
+        if self.p_value(counts) <= alpha {
+            self.latched = true;
+        }
+        self.latched
+    }
+
+    /// Resets the latch (used by tests and by sessions that restart
+    /// exploration from scratch).
+    pub fn reset(&mut self) {
+        self.latched = false;
+    }
+}
+
+/// Label-diversity metric `S_max` from Section 3.1: the fraction of labels
+/// that come from the single most-seen activity. Lower is more diverse.
+/// Returns 0 when no labels have been collected.
+pub fn s_max(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_does_not_fire_before_min_labels() {
+        let mut d = SkewDetector::default();
+        assert!(!d.observe(&[5, 0, 0, 0]));
+        assert!(!d.is_latched());
+    }
+
+    #[test]
+    fn detector_fires_on_heavy_skew() {
+        let mut d = SkewDetector::default();
+        // Deer-like: dominated by "bedded".
+        assert!(d.observe(&[80, 3, 2, 2, 1, 1, 0, 0, 0]));
+        assert!(d.is_latched());
+    }
+
+    #[test]
+    fn detector_does_not_fire_on_uniform_counts() {
+        let mut d = SkewDetector::default();
+        assert!(!d.observe(&[12, 11, 13, 12, 12]));
+    }
+
+    #[test]
+    fn detector_latches() {
+        let mut d = SkewDetector::default();
+        assert!(d.observe(&[200, 2, 2, 2]));
+        // Even if later counts look uniform, the detector stays latched.
+        assert!(d.observe(&[10, 10, 10, 10]));
+    }
+
+    #[test]
+    fn reset_clears_latch() {
+        let mut d = SkewDetector::default();
+        assert!(d.observe(&[200, 2, 2, 2]));
+        d.reset();
+        assert!(!d.is_latched());
+        assert!(!d.observe(&[10, 10, 10, 10]));
+    }
+
+    #[test]
+    fn frequency_detector_is_more_conservative_on_slight_imbalance() {
+        // For a moderate imbalance with many labels the AD p-value collapses
+        // to its 0.001 floor, while the frequency test with m = 1.5 does not
+        // treat a 56/44 split as imbalanced at all — the property Section 3.1
+        // highlights ("will not detect this as skewed even in the limit of
+        // infinite labels").
+        let counts = [5_600u64, 4_400];
+        let ad = SkewDetector::new(SkewTest::AndersonDarling { alpha: 0.001 });
+        let freq = SkewDetector::new(SkewTest::Frequency { m: 1.5, alpha: 0.001 });
+        assert!(ad.p_value(&counts) <= 0.001);
+        assert!(freq.p_value(&counts) > 0.5);
+    }
+
+    #[test]
+    fn p_value_handles_single_class_vocabulary() {
+        let d = SkewDetector::default();
+        assert_eq!(d.p_value(&[42]), 1.0);
+        assert_eq!(d.p_value(&[]), 1.0);
+        assert_eq!(d.p_value(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn s_max_basic_properties() {
+        assert_eq!(s_max(&[]), 0.0);
+        assert_eq!(s_max(&[0, 0]), 0.0);
+        assert!((s_max(&[10, 10, 10, 10]) - 0.25).abs() < 1e-12);
+        assert!((s_max(&[90, 5, 5]) - 0.9).abs() < 1e-12);
+        // S_max is always within [1/k, 1] when there is at least one label.
+        let counts = [7u64, 3, 2, 1];
+        let v = s_max(&counts);
+        assert!(v >= 1.0 / counts.len() as f64 && v <= 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the storage manager.
+
+/// Errors surfaced by storage operations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The snapshot buffer is malformed or truncated.
+    Corrupt(String),
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A referenced entity (video, feature, model) does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(StorageError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(StorageError::NotFound("video v3".into())
+            .to_string()
+            .contains("video v3"));
+        let io: StorageError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

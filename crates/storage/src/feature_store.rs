@@ -1,0 +1,167 @@
+//! The feature store: per-extractor feature vectors keyed by video.
+//!
+//! The paper's prototype stores feature vectors in Parquet files, one row per
+//! `(fid, vid, start, end, vector)`. This store keeps the same logical layout
+//! in memory — a map from `(extractor, video)` to the ordered list of window
+//! vectors — which is what the ALM scans when assembling candidate sets for
+//! active learning and what `VE-full` grows in the background.
+
+use std::collections::HashMap;
+use ve_features::{ExtractorId, FeatureVector};
+use ve_vidsim::VideoId;
+
+/// In-memory feature-vector store.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureStore {
+    by_key: HashMap<(ExtractorId, VideoId), Vec<FeatureVector>>,
+}
+
+impl FeatureStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (replacing) the vectors of one video for one extractor.
+    pub fn put(&mut self, extractor: ExtractorId, vid: VideoId, vectors: Vec<FeatureVector>) {
+        self.by_key.insert((extractor, vid), vectors);
+    }
+
+    /// Returns the vectors of one video for one extractor, if extracted.
+    pub fn get(&self, extractor: ExtractorId, vid: VideoId) -> Option<&[FeatureVector]> {
+        self.by_key.get(&(extractor, vid)).map(|v| v.as_slice())
+    }
+
+    /// Whether features for `(extractor, vid)` are available.
+    pub fn contains(&self, extractor: ExtractorId, vid: VideoId) -> bool {
+        self.by_key.contains_key(&(extractor, vid))
+    }
+
+    /// Videos that have features extracted for the given extractor, sorted.
+    pub fn videos_with_features(&self, extractor: ExtractorId) -> Vec<VideoId> {
+        let mut ids: Vec<VideoId> = self
+            .by_key
+            .keys()
+            .filter(|(e, _)| *e == extractor)
+            .map(|(_, v)| *v)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of `(extractor, video)` entries.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Total number of stored vectors across all entries.
+    pub fn total_vectors(&self) -> usize {
+        self.by_key.values().map(|v| v.len()).sum()
+    }
+
+    /// Approximate resident bytes of the stored vectors (data payloads only),
+    /// which the eager-extraction guardrail can use to cap background work.
+    pub fn approx_bytes(&self) -> usize {
+        self.by_key
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|f| f.data.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Iterates over all `(extractor, vid)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ExtractorId, VideoId), &Vec<FeatureVector>)> {
+        self.by_key.iter()
+    }
+
+    /// Drops every vector belonging to an extractor (used when the rising
+    /// bandit eliminates a candidate feature and its storage can be
+    /// reclaimed).
+    pub fn drop_extractor(&mut self, extractor: ExtractorId) -> usize {
+        let before = self.by_key.len();
+        self.by_key.retain(|(e, _), _| *e != extractor);
+        before - self.by_key.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_vidsim::TimeRange;
+
+    fn fv(e: ExtractorId, vid: u64, start: f64, dim: usize) -> FeatureVector {
+        FeatureVector {
+            extractor: e,
+            vid: VideoId(vid),
+            range: TimeRange::new(start, start + 1.0),
+            data: vec![start as f32; dim],
+        }
+    }
+
+    #[test]
+    fn put_get_and_contains() {
+        let mut s = FeatureStore::new();
+        s.put(ExtractorId::R3d, VideoId(1), vec![fv(ExtractorId::R3d, 1, 0.0, 4)]);
+        assert!(s.contains(ExtractorId::R3d, VideoId(1)));
+        assert!(!s.contains(ExtractorId::Mvit, VideoId(1)));
+        assert_eq!(s.get(ExtractorId::R3d, VideoId(1)).unwrap().len(), 1);
+        assert!(s.get(ExtractorId::R3d, VideoId(2)).is_none());
+    }
+
+    #[test]
+    fn videos_with_features_is_sorted_per_extractor() {
+        let mut s = FeatureStore::new();
+        for vid in [5u64, 1, 3] {
+            s.put(ExtractorId::Clip, VideoId(vid), vec![fv(ExtractorId::Clip, vid, 0.0, 4)]);
+        }
+        s.put(ExtractorId::R3d, VideoId(9), vec![fv(ExtractorId::R3d, 9, 0.0, 4)]);
+        assert_eq!(
+            s.videos_with_features(ExtractorId::Clip),
+            vec![VideoId(1), VideoId(3), VideoId(5)]
+        );
+        assert_eq!(s.videos_with_features(ExtractorId::R3d), vec![VideoId(9)]);
+    }
+
+    #[test]
+    fn aggregates_and_drop_extractor() {
+        let mut s = FeatureStore::new();
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![fv(ExtractorId::R3d, 1, 0.0, 8), fv(ExtractorId::R3d, 1, 1.0, 8)],
+        );
+        s.put(ExtractorId::Mvit, VideoId(1), vec![fv(ExtractorId::Mvit, 1, 0.0, 8)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_vectors(), 3);
+        assert_eq!(s.approx_bytes(), 3 * 8 * 4);
+        assert_eq!(s.drop_extractor(ExtractorId::R3d), 1);
+        assert_eq!(s.total_vectors(), 1);
+        assert!(!s.contains(ExtractorId::R3d, VideoId(1)));
+    }
+
+    #[test]
+    fn put_replaces_existing_entry() {
+        let mut s = FeatureStore::new();
+        s.put(ExtractorId::R3d, VideoId(1), vec![fv(ExtractorId::R3d, 1, 0.0, 4)]);
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![fv(ExtractorId::R3d, 1, 0.0, 4), fv(ExtractorId::R3d, 1, 1.0, 4)],
+        );
+        assert_eq!(s.get(ExtractorId::R3d, VideoId(1)).unwrap().len(), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = FeatureStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_vectors(), 0);
+        assert_eq!(s.videos_with_features(ExtractorId::R3d), Vec::<VideoId>::new());
+    }
+}

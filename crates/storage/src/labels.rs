@@ -1,0 +1,176 @@
+//! The label store: every `AddLabel(vid, start, end, label)` call appends a
+//! record here. The Active Learning Manager reads the per-class counts to
+//! decide whether the label distribution is skewed, and the Model Manager
+//! reads the full records to assemble training sets.
+
+use std::collections::HashMap;
+use ve_vidsim::{ClassId, TimeRange, VideoId};
+
+/// One user-provided label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelRecord {
+    /// Labeled video.
+    pub vid: VideoId,
+    /// Labeled time span.
+    pub range: TimeRange,
+    /// Activity classes the user assigned (one for single-label tasks,
+    /// possibly several for multi-label tasks, empty meaning "nothing here").
+    pub classes: Vec<ClassId>,
+    /// Exploration iteration at which the label was collected.
+    pub iteration: u32,
+}
+
+/// Append-only store of user labels.
+#[derive(Debug, Clone, Default)]
+pub struct LabelStore {
+    records: Vec<LabelRecord>,
+    by_video: HashMap<VideoId, Vec<usize>>,
+}
+
+impl LabelStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a label record.
+    pub fn add(&mut self, record: LabelRecord) {
+        self.by_video
+            .entry(record.vid)
+            .or_default()
+            .push(self.records.len());
+        self.records.push(record);
+    }
+
+    /// Number of label records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no labels have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[LabelRecord] {
+        &self.records
+    }
+
+    /// Records for a specific video.
+    pub fn for_video(&self, vid: VideoId) -> Vec<&LabelRecord> {
+        self.by_video
+            .get(&vid)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether the given video has any label overlapping `range`.
+    pub fn is_labeled(&self, vid: VideoId, range: &TimeRange) -> bool {
+        self.for_video(vid)
+            .iter()
+            .any(|r| r.range.overlaps(range))
+    }
+
+    /// Set of videos with at least one label.
+    pub fn labeled_videos(&self) -> Vec<VideoId> {
+        let mut ids: Vec<VideoId> = self.by_video.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Per-class label counts over a vocabulary of `num_classes` classes.
+    /// Multi-label records contribute one count per class they mention.
+    pub fn class_counts(&self, num_classes: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_classes];
+        for r in &self.records {
+            for &c in &r.classes {
+                if c < num_classes {
+                    counts[c] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Count of labels mentioning `class` and count of labels mentioning any
+    /// other class — the `(n_a, n_o)` pair used by rare-class uncertainty
+    /// sampling (Section 3.1.2).
+    pub fn positive_negative_counts(&self, class: ClassId) -> (u64, u64) {
+        let mut pos = 0;
+        let mut neg = 0;
+        for r in &self.records {
+            if r.classes.contains(&class) {
+                pos += 1;
+            } else if !r.classes.is_empty() {
+                neg += 1;
+            }
+        }
+        (pos, neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(vid: u64, start: f64, classes: Vec<usize>, iter: u32) -> LabelRecord {
+        LabelRecord {
+            vid: VideoId(vid),
+            range: TimeRange::new(start, start + 1.0),
+            classes,
+            iteration: iter,
+        }
+    }
+
+    #[test]
+    fn add_and_query_by_video() {
+        let mut s = LabelStore::new();
+        s.add(lab(1, 0.0, vec![0], 0));
+        s.add(lab(1, 5.0, vec![1], 0));
+        s.add(lab(2, 0.0, vec![0], 1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.for_video(VideoId(1)).len(), 2);
+        assert_eq!(s.for_video(VideoId(3)).len(), 0);
+        assert_eq!(s.labeled_videos(), vec![VideoId(1), VideoId(2)]);
+    }
+
+    #[test]
+    fn is_labeled_respects_overlap() {
+        let mut s = LabelStore::new();
+        s.add(lab(1, 2.0, vec![0], 0));
+        assert!(s.is_labeled(VideoId(1), &TimeRange::new(2.5, 3.5)));
+        assert!(!s.is_labeled(VideoId(1), &TimeRange::new(3.0, 4.0)));
+        assert!(!s.is_labeled(VideoId(2), &TimeRange::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn class_counts_handle_multilabel_and_out_of_range() {
+        let mut s = LabelStore::new();
+        s.add(lab(1, 0.0, vec![0, 2], 0));
+        s.add(lab(1, 1.0, vec![2], 0));
+        s.add(lab(2, 0.0, vec![9], 0)); // out of vocabulary -> ignored
+        assert_eq!(s.class_counts(3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn positive_negative_counts_for_rare_class_sampling() {
+        let mut s = LabelStore::new();
+        s.add(lab(1, 0.0, vec![0], 0));
+        s.add(lab(1, 1.0, vec![0], 0));
+        s.add(lab(2, 0.0, vec![1], 0));
+        s.add(lab(2, 1.0, vec![], 0)); // "nothing here" counts as neither
+        let (pos, neg) = s.positive_negative_counts(1);
+        assert_eq!((pos, neg), (1, 2));
+        let (pos0, neg0) = s.positive_negative_counts(0);
+        assert_eq!((pos0, neg0), (2, 1));
+    }
+
+    #[test]
+    fn empty_store_properties() {
+        let s = LabelStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.class_counts(4), vec![0, 0, 0, 0]);
+        assert!(s.labeled_videos().is_empty());
+    }
+}

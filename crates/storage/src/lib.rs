@@ -1,0 +1,199 @@
+//! `ve-storage` — the Storage Manager (SM).
+//!
+//! The paper's SM "stores and retrieves all persisted data, which includes
+//! video metadata (e.g., path, duration, start time), labels, features, and
+//! models" (Section 2.3) and is built from off-the-shelf components (DuckDB
+//! for metadata and labels, Parquet files for feature vectors, PyTorch
+//! checkpoints for models). This crate builds the same component as a small
+//! embedded store so the repository is self-contained:
+//!
+//! * [`VideoMetadataStore`] — the video catalog (`AddVideo` rows),
+//! * [`LabelStore`] — user-provided labels with their time spans,
+//! * [`FeatureStore`] — per-extractor feature vectors keyed by
+//!   `(extractor, video)`, the equivalent of the paper's Parquet files,
+//! * [`ModelRegistry`] — trained-model metadata plus in-memory handles to the
+//!   most recent model per extractor, and
+//! * a hand-written binary snapshot format ([`persist`]) so the whole state
+//!   can be written to and reloaded from a single file without pulling in a
+//!   serialization framework, and
+//! * an append-only, checksummed label log ([`wal::LabelWal`]) so that the
+//!   one piece of state that cannot be recomputed — the user's labels —
+//!   survives a crash between snapshots.
+//!
+//! All stores are cheap to clone behind the [`StorageManager`] facade and are
+//! safe to share across the Task Scheduler's worker threads.
+
+pub mod codec;
+pub mod error;
+pub mod feature_store;
+pub mod labels;
+pub mod metadata;
+pub mod model_registry;
+pub mod persist;
+pub mod wal;
+
+pub use error::StorageError;
+pub use feature_store::FeatureStore;
+pub use labels::{LabelRecord, LabelStore};
+pub use metadata::{VideoMetadataStore, VideoRecord};
+pub use model_registry::{ModelRecord, ModelRegistry};
+pub use wal::{LabelWal, WalRecovery};
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Facade bundling the individual stores, mirroring the paper's SM component.
+#[derive(Debug, Clone, Default)]
+pub struct StorageManager {
+    inner: Arc<RwLock<StorageInner>>,
+}
+
+#[derive(Debug, Default)]
+struct StorageInner {
+    metadata: VideoMetadataStore,
+    labels: LabelStore,
+    features: FeatureStore,
+}
+
+impl StorageManager {
+    /// Creates an empty storage manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs a closure with read access to the video catalog.
+    pub fn with_metadata<R>(&self, f: impl FnOnce(&VideoMetadataStore) -> R) -> R {
+        f(&self.inner.read().metadata)
+    }
+
+    /// Runs a closure with write access to the video catalog.
+    pub fn with_metadata_mut<R>(&self, f: impl FnOnce(&mut VideoMetadataStore) -> R) -> R {
+        f(&mut self.inner.write().metadata)
+    }
+
+    /// Runs a closure with read access to the label store.
+    pub fn with_labels<R>(&self, f: impl FnOnce(&LabelStore) -> R) -> R {
+        f(&self.inner.read().labels)
+    }
+
+    /// Runs a closure with write access to the label store.
+    pub fn with_labels_mut<R>(&self, f: impl FnOnce(&mut LabelStore) -> R) -> R {
+        f(&mut self.inner.write().labels)
+    }
+
+    /// Runs a closure with read access to the feature store.
+    pub fn with_features<R>(&self, f: impl FnOnce(&FeatureStore) -> R) -> R {
+        f(&self.inner.read().features)
+    }
+
+    /// Runs a closure with write access to the feature store.
+    pub fn with_features_mut<R>(&self, f: impl FnOnce(&mut FeatureStore) -> R) -> R {
+        f(&mut self.inner.write().features)
+    }
+
+    /// Serializes metadata, labels, and features into a snapshot buffer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let inner = self.inner.read();
+        persist::encode_snapshot(&inner.metadata, &inner.labels, &inner.features)
+    }
+
+    /// Restores a storage manager from a snapshot buffer.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, StorageError> {
+        let (metadata, labels, features) = persist::decode_snapshot(bytes)?;
+        Ok(Self {
+            inner: Arc::new(RwLock::new(StorageInner {
+                metadata,
+                labels,
+                features,
+            })),
+        })
+    }
+
+    /// Writes a snapshot to a file.
+    pub fn save_to_file(&self, path: &std::path::Path) -> Result<(), StorageError> {
+        std::fs::write(path, self.snapshot()).map_err(StorageError::Io)
+    }
+
+    /// Loads a snapshot from a file.
+    pub fn load_from_file(path: &std::path::Path) -> Result<Self, StorageError> {
+        let bytes = std::fs::read(path).map_err(StorageError::Io)?;
+        Self::from_snapshot(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_features::ExtractorId;
+    use ve_vidsim::{TimeRange, VideoId};
+
+    #[test]
+    fn facade_round_trip_through_snapshot() {
+        let sm = StorageManager::new();
+        sm.with_metadata_mut(|m| {
+            m.insert(VideoRecord {
+                vid: VideoId(1),
+                path: "a.mp4".into(),
+                duration: 10.0,
+                start_timestamp: 0.0,
+            })
+        });
+        sm.with_labels_mut(|l| {
+            l.add(LabelRecord {
+                vid: VideoId(1),
+                range: TimeRange::new(0.0, 1.0),
+                classes: vec![2],
+                iteration: 0,
+            })
+        });
+        sm.with_features_mut(|f| {
+            f.put(
+                ExtractorId::R3d,
+                VideoId(1),
+                vec![ve_features::FeatureVector {
+                    extractor: ExtractorId::R3d,
+                    vid: VideoId(1),
+                    range: TimeRange::new(0.0, 1.0),
+                    data: vec![0.5, -0.25, 1.0],
+                }],
+            )
+        });
+
+        let snapshot = sm.snapshot();
+        let restored = StorageManager::from_snapshot(&snapshot).unwrap();
+        assert_eq!(restored.with_metadata(|m| m.len()), 1);
+        assert_eq!(restored.with_labels(|l| l.len()), 1);
+        assert_eq!(
+            restored.with_features(|f| f.get(ExtractorId::R3d, VideoId(1)).unwrap().len()),
+            1
+        );
+        let v = restored.with_features(|f| f.get(ExtractorId::R3d, VideoId(1)).unwrap()[0].clone());
+        assert_eq!(v.data, vec![0.5, -0.25, 1.0]);
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("ve_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        let sm = StorageManager::new();
+        sm.with_metadata_mut(|m| {
+            m.insert(VideoRecord {
+                vid: VideoId(7),
+                path: "x.mp4".into(),
+                duration: 5.0,
+                start_timestamp: 100.0,
+            })
+        });
+        sm.save_to_file(&path).unwrap();
+        let loaded = StorageManager::load_from_file(&path).unwrap();
+        assert_eq!(loaded.with_metadata(|m| m.get(VideoId(7)).unwrap().path.clone()), "x.mp4");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let err = StorageManager::from_snapshot(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+}

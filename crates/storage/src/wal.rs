@@ -1,0 +1,359 @@
+//! Append-only label log (write-ahead log).
+//!
+//! Labels are the only state in VOCALExplore that cannot be recomputed: video
+//! metadata comes from the filesystem, features and models can be re-derived,
+//! but a user's labeling effort is irreplaceable. Snapshots alone would lose
+//! the labels added since the last snapshot on a crash, so the storage
+//! manager also supports an append-only log: every `AddLabel` call is encoded
+//! as one self-delimiting record and appended; recovery replays the log into
+//! a fresh [`LabelStore`].
+//!
+//! Record layout (little-endian, see [`crate::codec`]):
+//!
+//! ```text
+//! u32 record_len | u64 vid | f64 start | f64 end | u64[] classes | u32 iteration | u32 crc
+//! ```
+//!
+//! The trailing CRC (a simple 32-bit FNV-1a over the record body) detects
+//! torn writes; replay stops at the first corrupt or truncated record and
+//! reports how many records were recovered.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+use crate::labels::{LabelRecord, LabelStore};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use ve_vidsim::{TimeRange, VideoId};
+
+/// FNV-1a hash over a byte slice (used as a lightweight record checksum).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes one label record (without the length prefix).
+fn encode_record_body(record: &LabelRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(record.vid.0);
+    w.put_f64(record.range.start);
+    w.put_f64(record.range.end);
+    let classes: Vec<u64> = record.classes.iter().map(|&c| c as u64).collect();
+    w.put_u64_slice(&classes);
+    w.put_u32(record.iteration);
+    w.into_bytes()
+}
+
+fn decode_record_body(bytes: &[u8]) -> Result<LabelRecord, StorageError> {
+    let mut r = Reader::new(bytes);
+    let vid = VideoId(r.get_u64()?);
+    let start = r.get_f64()?;
+    let end = r.get_f64()?;
+    if !start.is_finite() || !end.is_finite() || start > end {
+        return Err(StorageError::Corrupt(format!(
+            "invalid label range [{start}, {end})"
+        )));
+    }
+    let classes: Vec<usize> = r.get_u64_vec()?.into_iter().map(|c| c as usize).collect();
+    let iteration = r.get_u32()?;
+    Ok(LabelRecord {
+        vid,
+        range: TimeRange::new(start, end),
+        classes,
+        iteration,
+    })
+}
+
+/// Append-only label log backed by a file.
+#[derive(Debug)]
+pub struct LabelWal {
+    path: PathBuf,
+    file: std::fs::File,
+    records_written: usize,
+}
+
+/// Result of replaying a log file.
+#[derive(Debug, Clone)]
+pub struct WalRecovery {
+    /// The recovered label store.
+    pub labels: LabelStore,
+    /// Number of records successfully replayed.
+    pub recovered_records: usize,
+    /// Whether replay stopped early because of a corrupt or truncated record.
+    pub truncated: bool,
+}
+
+impl LabelWal {
+    /// Opens (creating if necessary) the log at `path` for appending.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(StorageError::Io)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            records_written: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records appended through this handle.
+    pub fn records_written(&self) -> usize {
+        self.records_written
+    }
+
+    /// Appends one label record and flushes it to the OS.
+    pub fn append(&mut self, record: &LabelRecord) -> Result<(), StorageError> {
+        let body = encode_record_body(record);
+        let mut framed = Writer::with_capacity(body.len() + 8);
+        framed.put_u32(body.len() as u32);
+        let crc = fnv1a(&body);
+        let mut bytes = framed.into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&bytes).map_err(StorageError::Io)?;
+        self.file.flush().map_err(StorageError::Io)?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Replays a log file into a fresh [`LabelStore`]. Replay is tolerant of a
+    /// trailing partial record (a torn final write) but reports it.
+    pub fn replay(path: &Path) -> Result<WalRecovery, StorageError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StorageError::Io(e)),
+        };
+        let mut labels = LabelStore::new();
+        let mut offset = 0usize;
+        let mut recovered = 0usize;
+        let mut truncated = false;
+        while offset + 4 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            let body_start = offset + 4;
+            let crc_end = body_start + len + 4;
+            if crc_end > bytes.len() {
+                truncated = true;
+                break;
+            }
+            let body = &bytes[body_start..body_start + len];
+            let stored_crc =
+                u32::from_le_bytes(bytes[body_start + len..crc_end].try_into().unwrap());
+            if fnv1a(body) != stored_crc {
+                truncated = true;
+                break;
+            }
+            match decode_record_body(body) {
+                Ok(record) => {
+                    labels.add(record);
+                    recovered += 1;
+                    offset = crc_end;
+                }
+                Err(_) => {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        Ok(WalRecovery {
+            labels,
+            recovered_records: recovered,
+            truncated,
+        })
+    }
+
+    /// Truncates the log (typically after its contents have been folded into
+    /// a snapshot).
+    pub fn truncate(&mut self) -> Result<(), StorageError> {
+        self.file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(StorageError::Io)?;
+        // Reopen in append mode for subsequent writes.
+        self.file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(StorageError::Io)?;
+        self.records_written = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ve_storage_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.wal", std::process::id()))
+    }
+
+    fn sample(i: u64) -> LabelRecord {
+        LabelRecord {
+            vid: VideoId(i),
+            range: TimeRange::new(i as f64, i as f64 + 1.0),
+            classes: vec![(i % 5) as usize, ((i + 1) % 5) as usize],
+            iteration: i as u32,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("round_trip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = LabelWal::open(&path).unwrap();
+            for i in 0..25 {
+                wal.append(&sample(i)).unwrap();
+            }
+            assert_eq!(wal.records_written(), 25);
+        }
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 25);
+        assert!(!recovery.truncated);
+        assert_eq!(recovery.labels.len(), 25);
+        assert_eq!(recovery.labels.records()[7].vid, VideoId(7));
+        assert_eq!(recovery.labels.records()[7].classes, vec![2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let path = temp_path("missing_file_never_created");
+        std::fs::remove_file(&path).ok();
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 0);
+        assert!(!recovery.truncated);
+    }
+
+    #[test]
+    fn torn_final_write_is_detected_and_prefix_recovered() {
+        let path = temp_path("torn_write");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = LabelWal::open(&path).unwrap();
+            for i in 0..10 {
+                wal.append(&sample(i)).unwrap();
+            }
+        }
+        // Chop a few bytes off the end to simulate a crash mid-append.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 9);
+        assert!(recovery.truncated);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_record_body_fails_checksum() {
+        let path = temp_path("bad_crc");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = LabelWal::open(&path).unwrap();
+            for i in 0..5 {
+                wal.append(&sample(i)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the third record's body.
+        let idx = bytes.len() / 2;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert!(recovery.truncated);
+        assert!(recovery.recovered_records < 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_reopen_continues_the_log() {
+        let path = temp_path("reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = LabelWal::open(&path).unwrap();
+            wal.append(&sample(0)).unwrap();
+        }
+        {
+            let mut wal = LabelWal::open(&path).unwrap();
+            wal.append(&sample(1)).unwrap();
+        }
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_clears_the_log() {
+        let path = temp_path("truncate");
+        std::fs::remove_file(&path).ok();
+        let mut wal = LabelWal::open(&path).unwrap();
+        for i in 0..5 {
+            wal.append(&sample(i)).unwrap();
+        }
+        wal.truncate().unwrap();
+        assert_eq!(wal.records_written(), 0);
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 0);
+        // The log remains usable after truncation.
+        wal.append(&sample(9)).unwrap();
+        assert_eq!(LabelWal::replay(&path).unwrap().recovered_records, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn arbitrary_records_round_trip(
+                specs in proptest::collection::vec(
+                    (0u64..500, 0.0f64..100.0, 0.1f64..5.0,
+                     proptest::collection::vec(0usize..40, 0..4), 0u32..200),
+                    1..20)
+            ) {
+                let path = temp_path(&format!("prop_{}", fnv1a(format!("{specs:?}").as_bytes())));
+                std::fs::remove_file(&path).ok();
+                let records: Vec<LabelRecord> = specs
+                    .iter()
+                    .map(|(vid, start, len, classes, iteration)| LabelRecord {
+                        vid: VideoId(*vid),
+                        range: TimeRange::new(*start, *start + *len),
+                        classes: classes.clone(),
+                        iteration: *iteration,
+                    })
+                    .collect();
+                {
+                    let mut wal = LabelWal::open(&path).unwrap();
+                    for r in &records {
+                        wal.append(r).unwrap();
+                    }
+                }
+                let recovery = LabelWal::replay(&path).unwrap();
+                prop_assert_eq!(recovery.recovered_records, records.len());
+                prop_assert!(!recovery.truncated);
+                for (a, b) in recovery.labels.records().iter().zip(&records) {
+                    prop_assert_eq!(a.vid, b.vid);
+                    prop_assert_eq!(&a.classes, &b.classes);
+                    prop_assert_eq!(a.iteration, b.iteration);
+                }
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+}

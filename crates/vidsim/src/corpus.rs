@@ -1,0 +1,166 @@
+//! A collection of video clips with id assignment and lookup, standing in for
+//! the user's directory of video files (`AddVideo(path)` in the paper's API).
+
+use crate::types::{VideoClip, VideoId};
+use std::collections::HashMap;
+
+/// An in-memory corpus of video clips.
+#[derive(Debug, Clone, Default)]
+pub struct VideoCorpus {
+    videos: Vec<VideoClip>,
+    by_id: HashMap<VideoId, usize>,
+    next_id: u64,
+}
+
+impl VideoCorpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a clip, assigning it a fresh [`VideoId`] (any id already present
+    /// in the clip is overwritten). Returns the assigned id.
+    pub fn add(&mut self, mut clip: VideoClip) -> VideoId {
+        let id = VideoId(self.next_id);
+        self.next_id += 1;
+        clip.id = id;
+        self.by_id.insert(id, self.videos.len());
+        self.videos.push(clip);
+        id
+    }
+
+    /// Adds a clip preserving its existing id.
+    ///
+    /// # Panics
+    /// Panics if the id is already present.
+    pub fn add_with_id(&mut self, clip: VideoClip) -> VideoId {
+        let id = clip.id;
+        assert!(
+            !self.by_id.contains_key(&id),
+            "video id {id} already present"
+        );
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.by_id.insert(id, self.videos.len());
+        self.videos.push(clip);
+        id
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Looks up a video by id.
+    pub fn get(&self, id: VideoId) -> Option<&VideoClip> {
+        self.by_id.get(&id).map(|&i| &self.videos[i])
+    }
+
+    /// All videos in insertion order.
+    pub fn videos(&self) -> &[VideoClip] {
+        &self.videos
+    }
+
+    /// All video ids in insertion order.
+    pub fn ids(&self) -> Vec<VideoId> {
+        self.videos.iter().map(|v| v.id).collect()
+    }
+
+    /// Total duration of the corpus in seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.videos.iter().map(|v| v.duration).sum()
+    }
+
+    /// Per-class count of videos whose ground truth contains the class
+    /// anywhere, over a vocabulary of `num_classes` classes.
+    pub fn class_video_counts(&self, num_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_classes];
+        for v in &self.videos {
+            let mut seen = vec![false; num_classes];
+            for seg in &v.segments {
+                for &c in &seg.classes {
+                    if c < num_classes && !seen[c] {
+                        seen[c] = true;
+                        counts[c] += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Segment, TimeRange};
+
+    fn clip(duration: f64, classes: Vec<usize>) -> VideoClip {
+        VideoClip {
+            id: VideoId(0),
+            path: "x.mp4".into(),
+            duration,
+            start_timestamp: 0.0,
+            segments: vec![Segment {
+                range: TimeRange::new(0.0, duration),
+                classes,
+                latent_seed: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut c = VideoCorpus::new();
+        let a = c.add(clip(10.0, vec![0]));
+        let b = c.add(clip(10.0, vec![1]));
+        assert_eq!(a, VideoId(0));
+        assert_eq!(b, VideoId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(a).unwrap().id, a);
+        assert!(c.get(VideoId(99)).is_none());
+    }
+
+    #[test]
+    fn add_with_id_preserves_and_advances_counter() {
+        let mut c = VideoCorpus::new();
+        let mut v = clip(5.0, vec![0]);
+        v.id = VideoId(10);
+        c.add_with_id(v);
+        let next = c.add(clip(5.0, vec![1]));
+        assert_eq!(next, VideoId(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn add_with_id_rejects_duplicates() {
+        let mut c = VideoCorpus::new();
+        let mut v = clip(5.0, vec![0]);
+        v.id = VideoId(3);
+        c.add_with_id(v.clone());
+        c.add_with_id(v);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut c = VideoCorpus::new();
+        c.add(clip(10.0, vec![0]));
+        c.add(clip(20.0, vec![0, 1]));
+        c.add(clip(30.0, vec![2]));
+        assert_eq!(c.total_duration(), 60.0);
+        assert_eq!(c.class_video_counts(3), vec![2, 1, 1]);
+        assert_eq!(c.ids(), vec![VideoId(0), VideoId(1), VideoId(2)]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = VideoCorpus::new();
+        assert!(c.is_empty());
+        assert_eq!(c.total_duration(), 0.0);
+        assert_eq!(c.class_video_counts(2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,560 @@
+//! Generators for the six evaluation datasets of Table 2.
+//!
+//! | Dataset     | classes | skew    | train | eval | task         |
+//! |-------------|---------|---------|-------|------|--------------|
+//! | Deer        | 9       | skewed  | 896   | 225  | single-label |
+//! | K20         | 20      | uniform | 13326 | 976  | single-label |
+//! | K20 (skew)  | 20      | skewed  | 1050  | 976  | single-label |
+//! | Charades    | 33      | skewed  | 7985  | 1863 | multi-label  |
+//! | Bears       | 2       | uniform | 2410  | 722  | single-label |
+//! | BDD         | 6       | skewed  | 800   | 200  | multi-label  |
+//!
+//! Each generated video carries ground-truth segments plus a latent content
+//! seed; the class-count *shape* (skew) matches the paper, while a `scale`
+//! knob lets the benchmark harness shrink the larger corpora so experiments
+//! complete quickly without changing the skew.
+
+use crate::corpus::VideoCorpus;
+use crate::types::{Segment, TaskKind, TimeRange, VideoClip, VideoId, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ve_stats::zipf_frequencies;
+
+/// The six datasets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetName {
+    /// Deer activity classification from collar cameras (skewed, 9 classes).
+    Deer,
+    /// 20-class Kinetics subset (uniform).
+    K20,
+    /// 20-class Kinetics subset with Zipf(s=2) class skew.
+    K20Skew,
+    /// Charades verb classes (multi-label, 33 classes, skewed).
+    Charades,
+    /// Bear / no-bear camera traps (uniform, binary).
+    Bears,
+    /// BDD driving-object detection windows (multi-label, 6 classes, skewed).
+    Bdd,
+}
+
+impl DatasetName {
+    /// All datasets in the order the paper lists them.
+    pub fn all() -> [DatasetName; 6] {
+        [
+            DatasetName::Deer,
+            DatasetName::K20,
+            DatasetName::K20Skew,
+            DatasetName::Charades,
+            DatasetName::Bears,
+            DatasetName::Bdd,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DatasetName::Deer => "Deer",
+            DatasetName::K20 => "K20",
+            DatasetName::K20Skew => "K20 (skew)",
+            DatasetName::Charades => "Charades",
+            DatasetName::Bears => "Bears",
+            DatasetName::Bdd => "BDD",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static description of a dataset: vocabulary size, skew, corpus sizes, and
+/// clip geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset this spec describes.
+    pub name: DatasetName,
+    /// Number of activity classes.
+    pub num_classes: usize,
+    /// Whether the training class distribution is skewed.
+    pub skewed: bool,
+    /// Single- or multi-label task.
+    pub task: TaskKind,
+    /// Number of training videos to generate.
+    pub train_videos: usize,
+    /// Number of held-out evaluation videos to generate.
+    pub eval_videos: usize,
+    /// Clip duration in seconds.
+    pub clip_duration: f64,
+    /// Ground-truth segment granularity in seconds.
+    pub segment_duration: f64,
+}
+
+impl DatasetSpec {
+    /// The spec with the paper's exact Table 2 corpus sizes.
+    pub fn paper(name: DatasetName) -> Self {
+        match name {
+            DatasetName::Deer => Self {
+                name,
+                num_classes: 9,
+                skewed: true,
+                task: TaskKind::SingleLabel,
+                train_videos: 896,
+                eval_videos: 225,
+                clip_duration: 10.0,
+                segment_duration: 1.0,
+            },
+            DatasetName::K20 => Self {
+                name,
+                num_classes: 20,
+                skewed: false,
+                task: TaskKind::SingleLabel,
+                train_videos: 13_326,
+                eval_videos: 976,
+                clip_duration: 10.0,
+                segment_duration: 1.0,
+            },
+            DatasetName::K20Skew => Self {
+                name,
+                num_classes: 20,
+                skewed: true,
+                task: TaskKind::SingleLabel,
+                train_videos: 1_050,
+                eval_videos: 976,
+                clip_duration: 10.0,
+                segment_duration: 1.0,
+            },
+            DatasetName::Charades => Self {
+                name,
+                num_classes: 33,
+                skewed: true,
+                task: TaskKind::MultiLabel,
+                train_videos: 7_985,
+                eval_videos: 1_863,
+                clip_duration: 30.0,
+                segment_duration: 1.0,
+            },
+            DatasetName::Bears => Self {
+                name,
+                num_classes: 2,
+                skewed: false,
+                task: TaskKind::SingleLabel,
+                train_videos: 2_410,
+                eval_videos: 722,
+                clip_duration: 5.0,
+                segment_duration: 1.0,
+            },
+            DatasetName::Bdd => Self {
+                name,
+                num_classes: 6,
+                skewed: true,
+                task: TaskKind::MultiLabel,
+                train_videos: 800,
+                eval_videos: 200,
+                clip_duration: 40.0,
+                segment_duration: 1.5,
+            },
+        }
+    }
+
+    /// A spec scaled down to `fraction` of the paper's corpus sizes (skew and
+    /// vocabulary are unchanged); used by the benchmark harness so that sweeps
+    /// over 100 labeling iterations × many configurations finish quickly.
+    ///
+    /// At least 60 training and 30 evaluation videos are always kept so the
+    /// smaller datasets remain usable.
+    pub fn scaled(name: DatasetName, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+        let mut spec = Self::paper(name);
+        spec.train_videos = ((spec.train_videos as f64 * fraction).round() as usize).max(60);
+        spec.eval_videos = ((spec.eval_videos as f64 * fraction).round() as usize).max(30);
+        spec
+    }
+
+    /// The vocabulary for this dataset (named classes where the paper names
+    /// them; generated names otherwise).
+    pub fn vocabulary(&self) -> Vocabulary {
+        match self.name {
+            DatasetName::Deer => Vocabulary::new(vec![
+                "bedded",
+                "chewing",
+                "foraging",
+                "looking around",
+                "traveling",
+                "grooming",
+                "standing",
+                "running",
+                "drinking",
+            ]),
+            DatasetName::K20 => Vocabulary::generated("k20_action", 20),
+            DatasetName::K20Skew => Vocabulary::generated("k20s_action", 20),
+            DatasetName::Charades => Vocabulary::generated("verb", 33),
+            DatasetName::Bears => Vocabulary::new(vec!["no_bear", "bear"]),
+            DatasetName::Bdd => Vocabulary::new(vec![
+                "car",
+                "truck",
+                "person",
+                "bus",
+                "bicycle",
+                "motorcycle",
+            ]),
+        }
+    }
+
+    /// Training-set class weights (probability that a video's primary
+    /// activity is each class for single-label datasets; per-class presence
+    /// probability for multi-label datasets).
+    pub fn train_class_weights(&self) -> Vec<f64> {
+        match self.name {
+            // Dominated by "bedded", as reported for the Deer dataset.
+            DatasetName::Deer => {
+                normalize(&[0.52, 0.14, 0.11, 0.08, 0.06, 0.04, 0.025, 0.015, 0.01])
+            }
+            DatasetName::K20 => vec![1.0 / 20.0; 20],
+            // Zipf s=2 scaled to 650 max / 3 min videos (Section 5, Datasets).
+            DatasetName::K20Skew => {
+                let counts = zipf_frequencies(20, 2.0, 650, 3);
+                let total: usize = counts.iter().sum();
+                counts.iter().map(|&c| c as f64 / total as f64).collect()
+            }
+            // Verb frequencies follow a moderate power law; presence
+            // probabilities (multi-label) rather than a distribution.
+            DatasetName::Charades => (0..33)
+                .map(|r| 0.45 / (r as f64 + 1.0).powf(0.8))
+                .collect(),
+            DatasetName::Bears => vec![0.5, 0.5],
+            // Cars are near-ubiquitous in driving footage; motorcycles rare.
+            DatasetName::Bdd => vec![0.90, 0.35, 0.30, 0.12, 0.08, 0.04],
+            }
+    }
+
+    /// Evaluation-set class weights. For K20 (skew) the paper evaluates on
+    /// the (uniform) Kinetics validation split; other datasets evaluate on a
+    /// split with the same distribution as training.
+    pub fn eval_class_weights(&self) -> Vec<f64> {
+        match self.name {
+            DatasetName::K20Skew => vec![1.0 / 20.0; 20],
+            _ => self.train_class_weights(),
+        }
+    }
+}
+
+fn normalize(w: &[f64]) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    w.iter().map(|x| x / s).collect()
+}
+
+/// A fully generated dataset: spec, vocabulary, training corpus, and held-out
+/// evaluation corpus.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The spec the dataset was generated from.
+    pub spec: DatasetSpec,
+    /// Class vocabulary.
+    pub vocabulary: Vocabulary,
+    /// Training corpus (the videos the user explores and labels).
+    pub train: VideoCorpus,
+    /// Held-out evaluation corpus used only to measure macro F1.
+    pub eval: VideoCorpus,
+}
+
+impl Dataset {
+    /// Generates a dataset from its spec with the given seed.
+    pub fn generate(spec: DatasetSpec, seed: u64) -> Self {
+        let vocabulary = spec.vocabulary();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = generate_corpus(
+            &spec,
+            &spec.train_class_weights(),
+            spec.train_videos,
+            0,
+            seed,
+            &mut rng,
+        );
+        let eval = generate_corpus(
+            &spec,
+            &spec.eval_class_weights(),
+            spec.eval_videos,
+            spec.train_videos as u64,
+            seed ^ 0x9e37_79b9_7f4a_7c15,
+            &mut rng,
+        );
+        Self {
+            spec,
+            vocabulary,
+            train,
+            eval,
+        }
+    }
+
+    /// Convenience: generate with the paper's corpus sizes.
+    pub fn paper(name: DatasetName, seed: u64) -> Self {
+        Self::generate(DatasetSpec::paper(name), seed)
+    }
+
+    /// Convenience: generate a scaled-down corpus (same skew).
+    pub fn scaled(name: DatasetName, fraction: f64, seed: u64) -> Self {
+        Self::generate(DatasetSpec::scaled(name, fraction), seed)
+    }
+
+    /// Per-class count of training videos containing each class.
+    pub fn train_class_counts(&self) -> Vec<usize> {
+        self.train.class_video_counts(self.vocabulary.len())
+    }
+}
+
+fn generate_corpus(
+    spec: &DatasetSpec,
+    class_weights: &[f64],
+    num_videos: usize,
+    id_offset: u64,
+    latent_base: u64,
+    rng: &mut StdRng,
+) -> VideoCorpus {
+    assert_eq!(class_weights.len(), spec.num_classes);
+    let mut corpus = VideoCorpus::new();
+    // Cumulative distribution for single-label primary-class sampling.
+    let total: f64 = class_weights.iter().sum();
+    let mut cdf = Vec::with_capacity(class_weights.len());
+    let mut acc = 0.0;
+    for &w in class_weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    for v in 0..num_videos {
+        let id = VideoId(id_offset + v as u64);
+        let num_segments = (spec.clip_duration / spec.segment_duration).round() as usize;
+        let mut segments = Vec::with_capacity(num_segments);
+
+        // Single-label: one primary class per video; a small fraction of
+        // segments switch to a co-occurring secondary class so not every
+        // window of a video carries the same label (Deer activities
+        // "occasionally co-occur").
+        let primary = sample_from_cdf(&cdf, rng);
+        let secondary = if spec.num_classes > 1 {
+            sample_from_cdf(&cdf, rng)
+        } else {
+            primary
+        };
+
+        for s in 0..num_segments {
+            let start = s as f64 * spec.segment_duration;
+            let end = (start + spec.segment_duration).min(spec.clip_duration);
+            let classes = match spec.task {
+                TaskKind::SingleLabel => {
+                    let c = if spec.num_classes > 1 && rng.gen::<f64>() < 0.10 {
+                        secondary
+                    } else {
+                        primary
+                    };
+                    vec![c]
+                }
+                TaskKind::MultiLabel => {
+                    // Per-class Bernoulli presence using the weights as
+                    // per-class probabilities; correlated within a video by
+                    // biasing toward the video's primary class.
+                    let mut present = Vec::new();
+                    for (c, &p) in class_weights.iter().enumerate() {
+                        let boosted = if c == primary { (p * 3.0).min(0.95) } else { p };
+                        if rng.gen::<f64>() < boosted {
+                            present.push(c);
+                        }
+                    }
+                    present
+                }
+            };
+            segments.push(Segment {
+                range: TimeRange::new(start, end),
+                classes,
+                latent_seed: mix_seed(latent_base, id.0, s as u64),
+            });
+        }
+
+        let clip = VideoClip {
+            id,
+            path: format!("{}/video_{:06}.mp4", spec.name.as_str(), id.0),
+            duration: spec.clip_duration,
+            start_timestamp: v as f64 * spec.clip_duration,
+            segments,
+        };
+        corpus.add_with_id(clip);
+    }
+    corpus
+}
+
+fn sample_from_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Deterministic seed mixer (splitmix-style) tying a segment's latent content
+/// to (dataset seed, video id, segment index).
+fn mix_seed(base: u64, vid: u64, seg: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(vid.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(seg.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ve_stats::s_max;
+
+    #[test]
+    fn paper_specs_match_table2() {
+        let deer = DatasetSpec::paper(DatasetName::Deer);
+        assert_eq!((deer.num_classes, deer.train_videos, deer.eval_videos), (9, 896, 225));
+        assert!(deer.skewed);
+        let k20 = DatasetSpec::paper(DatasetName::K20);
+        assert_eq!((k20.num_classes, k20.train_videos, k20.eval_videos), (20, 13_326, 976));
+        assert!(!k20.skewed);
+        let k20s = DatasetSpec::paper(DatasetName::K20Skew);
+        assert_eq!((k20s.num_classes, k20s.train_videos, k20s.eval_videos), (20, 1_050, 976));
+        let charades = DatasetSpec::paper(DatasetName::Charades);
+        assert_eq!(
+            (charades.num_classes, charades.train_videos, charades.eval_videos),
+            (33, 7_985, 1_863)
+        );
+        assert_eq!(charades.task, TaskKind::MultiLabel);
+        let bears = DatasetSpec::paper(DatasetName::Bears);
+        assert_eq!((bears.num_classes, bears.train_videos, bears.eval_videos), (2, 2_410, 722));
+        let bdd = DatasetSpec::paper(DatasetName::Bdd);
+        assert_eq!((bdd.num_classes, bdd.train_videos, bdd.eval_videos), (6, 800, 200));
+        assert_eq!(bdd.task, TaskKind::MultiLabel);
+    }
+
+    #[test]
+    fn scaled_spec_preserves_shape() {
+        let s = DatasetSpec::scaled(DatasetName::K20, 0.1);
+        assert_eq!(s.num_classes, 20);
+        assert_eq!(s.train_videos, 1333);
+        assert_eq!(s.eval_videos, 98);
+        // Minimum sizes enforced.
+        let tiny = DatasetSpec::scaled(DatasetName::Bdd, 0.01);
+        assert!(tiny.train_videos >= 60 && tiny.eval_videos >= 30);
+    }
+
+    #[test]
+    fn class_weights_are_valid_distributions_for_single_label() {
+        for name in [DatasetName::Deer, DatasetName::K20, DatasetName::K20Skew, DatasetName::Bears]
+        {
+            let spec = DatasetSpec::paper(name);
+            let w = spec.train_class_weights();
+            assert_eq!(w.len(), spec.num_classes);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{name}");
+            assert!(w.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn deer_corpus_is_skewed_toward_bedded() {
+        let ds = Dataset::scaled(DatasetName::Deer, 0.5, 7);
+        let counts = ds.train_class_counts();
+        let bedded = ds.vocabulary.index_of("bedded").unwrap();
+        let max_class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(max_class, bedded);
+        let counts_u64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+        assert!(s_max(&counts_u64) > 0.4, "Deer should be heavily skewed");
+    }
+
+    #[test]
+    fn k20_corpus_is_roughly_uniform() {
+        let ds = Dataset::scaled(DatasetName::K20, 0.1, 3);
+        let counts = ds.train_class_counts();
+        let counts_u64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+        assert!(
+            s_max(&counts_u64) < 0.12,
+            "uniform K20 should have no dominant class: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn k20_skew_train_is_zipfian_but_eval_is_uniform() {
+        let ds = Dataset::generate(DatasetSpec::paper(DatasetName::K20Skew), 11);
+        let train_counts = ds.train_class_counts();
+        let eval_counts = ds.eval.class_video_counts(20);
+        let max_train = *train_counts.iter().max().unwrap();
+        let min_train = *train_counts.iter().min().unwrap();
+        assert!(
+            max_train > 40 * min_train.max(1),
+            "train imbalance ratio should be large: {train_counts:?}"
+        );
+        let max_eval = *eval_counts.iter().max().unwrap() as f64;
+        let min_eval = *eval_counts.iter().min().unwrap() as f64;
+        assert!(
+            max_eval / min_eval.max(1.0) < 3.0,
+            "eval split should be roughly uniform: {eval_counts:?}"
+        );
+    }
+
+    #[test]
+    fn multi_label_dataset_has_videos_with_multiple_classes() {
+        let ds = Dataset::scaled(DatasetName::Bdd, 1.0, 5);
+        let multi = ds
+            .train
+            .videos()
+            .iter()
+            .filter(|v| v.classes_in(&TimeRange::new(0.0, v.duration)).len() > 1)
+            .count();
+        assert!(
+            multi > ds.train.len() / 4,
+            "BDD should frequently contain multiple objects: {multi}/{}",
+            ds.train.len()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Dataset::scaled(DatasetName::Bears, 0.1, 42);
+        let b = Dataset::scaled(DatasetName::Bears, 0.1, 42);
+        assert_eq!(a.train.videos(), b.train.videos());
+        let c = Dataset::scaled(DatasetName::Bears, 0.1, 43);
+        assert_ne!(a.train.videos(), c.train.videos());
+    }
+
+    #[test]
+    fn clip_geometry_matches_spec() {
+        let ds = Dataset::scaled(DatasetName::Charades, 0.01, 2);
+        for v in ds.train.videos() {
+            assert_eq!(v.duration, 30.0);
+            assert_eq!(v.segments.len(), 30);
+        }
+        let bdd = Dataset::scaled(DatasetName::Bdd, 0.1, 2);
+        for v in bdd.train.videos() {
+            assert_eq!(v.duration, 40.0);
+            // 40 s / 1.5 s windows ≈ 27 segments (the paper's BDD feature
+            // vectors each cover 1.5 seconds).
+            assert_eq!(v.segments.len(), 27);
+        }
+    }
+
+    #[test]
+    fn latent_seeds_are_unique_within_a_video() {
+        let ds = Dataset::scaled(DatasetName::Deer, 0.1, 9);
+        let v = &ds.train.videos()[0];
+        let mut seeds: Vec<u64> = v.segments.iter().map(|s| s.latent_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), v.segments.len());
+    }
+
+    #[test]
+    fn all_datasets_generate_without_panicking() {
+        for name in DatasetName::all() {
+            let ds = Dataset::scaled(name, 0.02, 1);
+            assert!(!ds.train.is_empty());
+            assert!(!ds.eval.is_empty());
+            assert_eq!(ds.vocabulary.len(), ds.spec.num_classes);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `ve-vidsim` — synthetic video corpus substrate.
+//!
+//! The paper evaluates VOCALExplore on six video datasets (Table 2): Deer,
+//! K20, K20 (skew), Charades, Bears, and BDD. Real footage and pretrained
+//! video models are not available in this environment, so this crate
+//! generates *synthetic* corpora that reproduce everything VOCALExplore's
+//! decision logic actually consumes:
+//!
+//! * per-video metadata (id, path, duration, start time),
+//! * per-segment ground-truth activities with the **same class counts and
+//!   skew** as Table 2 (e.g. Zipf `s = 2` for K20 (skew), a "bedded"-dominated
+//!   distribution for Deer, multi-label verbs for Charades), and
+//! * a latent per-segment content seed that the `ve-features` crate turns
+//!   into extractor-specific embeddings.
+//!
+//! The crate also provides the oracle "user" (and a noisy variant used for
+//! the Figure 9 label-quality experiment) that the evaluation harness uses in
+//! place of a human labeler — exactly as the paper's own evaluation does
+//! ("we simulate a labeling task by creating an oracle user").
+
+pub mod corpus;
+pub mod datasets;
+pub mod oracle;
+pub mod types;
+
+pub use corpus::VideoCorpus;
+pub use datasets::{Dataset, DatasetName, DatasetSpec};
+pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
+pub use types::{ClassId, Segment, TaskKind, TimeRange, VideoClip, VideoId, Vocabulary};

@@ -1,0 +1,253 @@
+//! Core value types for the synthetic video corpus: video identity, time
+//! ranges, ground-truth segments, and class vocabularies.
+
+/// Identifier assigned to a video when it is registered (the `vid` of the
+/// paper's API, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VideoId(pub u64);
+
+impl std::fmt::Display for VideoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of an activity class within a [`Vocabulary`].
+pub type ClassId = usize;
+
+/// Half-open time interval `[start, end)` in seconds within a video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeRange {
+    /// Start offset in seconds.
+    pub start: f64,
+    /// End offset in seconds (exclusive).
+    pub end: f64,
+}
+
+impl TimeRange {
+    /// Creates a range, asserting `start <= end`.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(start <= end, "invalid time range [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// Duration of the range in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether this range overlaps `other` (non-empty intersection).
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Midpoint of the range.
+    pub fn midpoint(&self) -> f64 {
+        (self.start + self.end) / 2.0
+    }
+}
+
+/// Whether a dataset's segments carry exactly one activity or a set of
+/// activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Exactly one activity per segment (Deer, K20, K20 (skew), Bears).
+    SingleLabel,
+    /// Zero or more activities per segment (Charades verbs, BDD objects).
+    MultiLabel,
+}
+
+/// Ground-truth annotation for a contiguous stretch of a video.
+///
+/// The `latent_seed` is the handle the `ve-features` crate uses to generate
+/// deterministic per-segment embedding noise — it stands in for the actual
+/// pixels of the segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Time span the annotation covers.
+    pub range: TimeRange,
+    /// Ground-truth activity classes present in the segment.
+    pub classes: Vec<ClassId>,
+    /// Deterministic seed standing in for the segment's visual content.
+    pub latent_seed: u64,
+}
+
+impl Segment {
+    /// Primary class of the segment (first listed), if any.
+    pub fn primary_class(&self) -> Option<ClassId> {
+        self.classes.first().copied()
+    }
+}
+
+/// A video clip in the corpus with its metadata and ground-truth segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoClip {
+    /// Assigned identifier.
+    pub id: VideoId,
+    /// Synthetic filesystem path (metadata only; nothing is read from disk).
+    pub path: String,
+    /// Total duration in seconds.
+    pub duration: f64,
+    /// Capture start time as a Unix-style timestamp in seconds, so temporal
+    /// sampling strategies (e.g. the ecologists' morning/midday/evening
+    /// sampling) can be expressed.
+    pub start_timestamp: f64,
+    /// Ground-truth segments, ordered by start time and covering `[0, duration)`.
+    pub segments: Vec<Segment>,
+}
+
+impl VideoClip {
+    /// Ground-truth classes present anywhere in `range`.
+    pub fn classes_in(&self, range: &TimeRange) -> Vec<ClassId> {
+        let mut out: Vec<ClassId> = Vec::new();
+        for seg in &self.segments {
+            if seg.range.overlaps(range) {
+                for &c in &seg.classes {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The segment containing time `t`, if any.
+    pub fn segment_at(&self, t: f64) -> Option<&Segment> {
+        self.segments
+            .iter()
+            .find(|s| s.range.start <= t && t < s.range.end)
+    }
+
+    /// Number of whole `window`-second windows in the clip.
+    pub fn num_windows(&self, window: f64) -> usize {
+        assert!(window > 0.0);
+        (self.duration / window).floor() as usize
+    }
+}
+
+/// The label vocabulary for a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocabulary {
+    names: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from class names.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "vocabulary cannot be empty");
+        Self { names }
+    }
+
+    /// Builds a vocabulary of `k` generated names with the given prefix.
+    pub fn generated(prefix: &str, k: usize) -> Self {
+        assert!(k > 0);
+        Self {
+            names: (0..k).map(|i| format!("{prefix}_{i}")).collect(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of class `c`.
+    pub fn name(&self, c: ClassId) -> &str {
+        &self.names[c]
+    }
+
+    /// Index of the class with the given name.
+    pub fn index_of(&self, name: &str) -> Option<ClassId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Iterates over `(ClassId, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_range_basics() {
+        let r = TimeRange::new(2.0, 5.0);
+        assert_eq!(r.duration(), 3.0);
+        assert_eq!(r.midpoint(), 3.5);
+        assert!(r.overlaps(&TimeRange::new(4.0, 6.0)));
+        assert!(!r.overlaps(&TimeRange::new(5.0, 6.0)), "touching is not overlap");
+        assert!(!r.overlaps(&TimeRange::new(0.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time range")]
+    fn time_range_rejects_reversed() {
+        TimeRange::new(5.0, 2.0);
+    }
+
+    #[test]
+    fn clip_classes_in_range() {
+        let clip = VideoClip {
+            id: VideoId(1),
+            path: "clip1.mp4".into(),
+            duration: 10.0,
+            start_timestamp: 0.0,
+            segments: vec![
+                Segment {
+                    range: TimeRange::new(0.0, 5.0),
+                    classes: vec![0],
+                    latent_seed: 1,
+                },
+                Segment {
+                    range: TimeRange::new(5.0, 10.0),
+                    classes: vec![1, 2],
+                    latent_seed: 2,
+                },
+            ],
+        };
+        assert_eq!(clip.classes_in(&TimeRange::new(0.0, 4.0)), vec![0]);
+        assert_eq!(clip.classes_in(&TimeRange::new(4.0, 6.0)), vec![0, 1, 2]);
+        assert_eq!(clip.classes_in(&TimeRange::new(6.0, 9.0)), vec![1, 2]);
+        assert_eq!(clip.segment_at(7.0).unwrap().classes, vec![1, 2]);
+        assert!(clip.segment_at(10.0).is_none());
+        assert_eq!(clip.num_windows(1.0), 10);
+        assert_eq!(clip.num_windows(3.0), 3);
+    }
+
+    #[test]
+    fn vocabulary_lookup() {
+        let v = Vocabulary::new(vec!["bedded", "foraging", "traveling"]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.name(1), "foraging");
+        assert_eq!(v.index_of("traveling"), Some(2));
+        assert_eq!(v.index_of("swimming"), None);
+        assert_eq!(v.iter().count(), 3);
+    }
+
+    #[test]
+    fn generated_vocabulary() {
+        let v = Vocabulary::generated("class", 4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.name(3), "class_3");
+    }
+
+    #[test]
+    fn video_id_display() {
+        assert_eq!(VideoId(42).to_string(), "v42");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary cannot be empty")]
+    fn empty_vocabulary_rejected() {
+        Vocabulary::new(Vec::<String>::new());
+    }
+}

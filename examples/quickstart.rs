@@ -1,0 +1,73 @@
+//! Quickstart: point VOCALExplore at a video corpus, explore, label, and get
+//! predictions — the workflow of Section 2.2.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vocalexplore::prelude::*;
+
+fn main() {
+    // 1. A (synthetic) video corpus standing in for the user's directory of
+    //    video files. Here: a scaled-down version of the Deer dataset.
+    let dataset = Dataset::scaled(DatasetName::Deer, 0.2, 42);
+    println!(
+        "Loaded {} training videos ({} classes: {})",
+        dataset.train.len(),
+        dataset.vocabulary.len(),
+        dataset
+            .vocabulary
+            .iter()
+            .map(|(_, n)| n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // 2. Create the system. No preprocessing happens here — exploration can
+    //    start immediately (the "pay-as-you-go" promise).
+    let config = VocalExploreConfig::for_dataset(&dataset, 42);
+    let mut system = VocalExplore::new(config);
+    for clip in dataset.train.videos() {
+        system.add_video(clip.clone());
+    }
+
+    // 3. The user explores and labels. We stand in for the user with the
+    //    ground-truth oracle the paper's own evaluation uses.
+    let oracle = GroundTruthOracle::new(dataset.spec.task);
+    for iteration in 1..=10 {
+        let batch = system.explore(5, 1.0, None);
+        println!(
+            "iteration {iteration:2}: acquisition = {:?}, feature = {}, labels so far = {}",
+            batch.acquisition.expect("explore always reports its acquisition"),
+            system.current_extractor(),
+            system.label_count(),
+        );
+        for seg in &batch.segments {
+            if let Some(top) = seg.top_prediction() {
+                println!(
+                    "    {} [{:.0}s-{:.0}s] predicted: {} (p={:.2})",
+                    seg.vid,
+                    seg.range.start,
+                    seg.range.end,
+                    dataset.vocabulary.name(top.class),
+                    top.probability
+                );
+            }
+            let truth = oracle.label(&dataset.train, seg.vid, &seg.range);
+            system.add_label(seg.vid, seg.range, truth);
+        }
+    }
+
+    // 4. Watch a specific video with predictions attached.
+    let vid = dataset.train.videos()[0].id;
+    let stream = system.watch(vid, 0.0, 5.0, 1.0);
+    println!("\nWatch({vid}, 0s..5s):");
+    for seg in &stream.segments {
+        let label = seg
+            .top_prediction()
+            .map(|p| format!("{} (p={:.2})", dataset.vocabulary.name(p.class), p.probability))
+            .unwrap_or_else(|| "<no prediction yet>".to_string());
+        println!("    [{:.0}s-{:.0}s] {label}", seg.range.start, seg.range.end);
+    }
+}

@@ -1,0 +1,24 @@
+//! `vocalexplore-repro` — the workspace root package.
+//!
+//! This package only exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library lives in
+//! the [`vocalexplore`] crate (re-exported here for convenience) with its
+//! substrates in the `ve-*` crates.
+
+pub use vocalexplore;
+
+/// Convenience re-export of the system prelude so integration tests and
+/// examples can `use vocalexplore_repro::prelude::*`.
+pub mod prelude {
+    pub use vocalexplore::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_reachable() {
+        use crate::prelude::*;
+        let spec = ve_vidsim::DatasetSpec::paper(DatasetName::Deer);
+        assert_eq!(spec.num_classes, 9);
+    }
+}

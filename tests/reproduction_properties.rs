@@ -1,0 +1,156 @@
+//! Integration tests asserting the *qualitative shapes* the paper's
+//! evaluation reports — the properties the figure/table binaries reproduce at
+//! larger scale. These run at reduced scale so the whole suite stays fast,
+//! but each assertion corresponds to a headline claim of Section 5.
+
+use vocalexplore::prelude::*;
+use vocalexplore::{FeatureSelectionPolicy, SamplingPolicy};
+
+fn quick(dataset: DatasetName, seed: u64, iterations: usize) -> SessionConfig {
+    let mut cfg = SessionConfig::new(dataset, 0.15, seed)
+        .with_iterations(iterations)
+        .with_eval_every(iterations.max(2) / 2);
+    cfg.system.train.epochs = 50;
+    cfg.system = cfg.system.with_extra_candidates(10);
+    cfg
+}
+
+fn fixed_feature(mut cfg: SessionConfig, e: ExtractorId) -> SessionConfig {
+    cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Fixed(e));
+    cfg
+}
+
+fn fixed_sampling(mut cfg: SessionConfig, kind: AcquisitionKind) -> SessionConfig {
+    cfg.system = cfg.system.with_sampling(SamplingPolicy::Fixed(kind));
+    cfg
+}
+
+/// Figure 4 shape: an informative extractor clearly beats the random-weight
+/// extractor on the same labeling budget.
+#[test]
+fn informative_feature_beats_random_feature() {
+    let good = SessionRunner::new(fixed_feature(quick(DatasetName::Deer, 5, 16), ExtractorId::R3d))
+        .run()
+        .final_f1();
+    let bad = SessionRunner::new(fixed_feature(
+        quick(DatasetName::Deer, 5, 16),
+        ExtractorId::Random,
+    ))
+    .run()
+    .final_f1();
+    assert!(
+        good > bad + 0.05,
+        "R3D ({good:.3}) must clearly beat the Random feature ({bad:.3}) on Deer"
+    );
+}
+
+/// Figure 3 shape: on a skewed dataset, VE-sample (CM) reaches a label
+/// diversity (S_max) at least as good as pure random sampling.
+#[test]
+fn ve_sample_improves_label_diversity_on_skewed_data() {
+    let random = SessionRunner::new(fixed_sampling(
+        fixed_feature(quick(DatasetName::K20Skew, 7, 20), ExtractorId::Mvit),
+        AcquisitionKind::Random,
+    ))
+    .run();
+    let ve = SessionRunner::new(fixed_feature(
+        quick(DatasetName::K20Skew, 7, 20),
+        ExtractorId::Mvit,
+    ))
+    .run();
+    assert!(
+        ve.final_s_max() <= random.final_s_max() + 0.02,
+        "VE-sample S_max ({:.2}) should not be worse than Random's ({:.2})",
+        ve.final_s_max(),
+        random.final_s_max()
+    );
+}
+
+/// Table 4 / Figure 5 shape: the rising bandit converges to a correct
+/// extractor on Deer within the horizon.
+#[test]
+fn bandit_selects_a_video_model_on_deer() {
+    let mut cfg = quick(DatasetName::Deer, 9, 40);
+    cfg.system = cfg
+        .system
+        .with_feature_selection(FeatureSelectionPolicy::Bandit(RisingBanditConfig::default()));
+    let outcome = SessionRunner::new(cfg).run();
+    let selected = outcome.final_extractor;
+    assert!(
+        matches!(selected, ExtractorId::R3d | ExtractorId::Mvit),
+        "Deer must select a video model, got {selected}"
+    );
+    assert!(
+        outcome.feature_selected_at.unwrap_or(usize::MAX) <= 40,
+        "selection should converge within the horizon"
+    );
+}
+
+/// Figure 2 / Figure 8 shape: VE-full's cumulative visible latency is far
+/// below the serial preprocessing baseline while F1 stays comparable.
+#[test]
+fn ve_full_is_cheaper_than_preprocessing_baseline_without_losing_f1() {
+    use vocalexplore::PreprocessPolicy;
+
+    let mut pp = fixed_feature(quick(DatasetName::Deer, 11, 16), ExtractorId::R3d);
+    pp.system = pp
+        .system
+        .with_strategy(SchedulerStrategy::Serial)
+        .with_preprocess(PreprocessPolicy::AllVideos)
+        .with_sampling(SamplingPolicy::Fixed(AcquisitionKind::Coreset));
+    let pp_outcome = SessionRunner::new(pp).run();
+
+    let mut full = fixed_feature(quick(DatasetName::Deer, 11, 16), ExtractorId::R3d);
+    full.system = full.system.with_strategy(SchedulerStrategy::VeFull);
+    let full_outcome = SessionRunner::new(full).run();
+
+    assert!(
+        full_outcome.cumulative_visible_latency() * 2.0
+            < pp_outcome.cumulative_visible_latency(),
+        "VE-full visible latency ({:.0}s) must be far below Coreset-PP ({:.0}s)",
+        full_outcome.cumulative_visible_latency(),
+        pp_outcome.cumulative_visible_latency()
+    );
+    assert!(
+        full_outcome.final_f1() + 0.15 > pp_outcome.final_f1(),
+        "VE-full F1 ({:.3}) should stay comparable to Coreset-PP ({:.3})",
+        full_outcome.final_f1(),
+        pp_outcome.final_f1()
+    );
+}
+
+/// Figure 9 shape: 10% label noise barely degrades VOCALExplore's F1.
+#[test]
+fn moderate_label_noise_is_tolerated() {
+    let clean = SessionRunner::new(fixed_feature(quick(DatasetName::Deer, 13, 20), ExtractorId::R3d))
+        .run()
+        .final_f1();
+    let noisy = SessionRunner::new(
+        fixed_feature(quick(DatasetName::Deer, 13, 20), ExtractorId::R3d).with_noise(0.10),
+    )
+    .run()
+    .final_f1();
+    assert!(
+        noisy > clean - 0.15,
+        "10% label noise should not collapse F1: clean {clean:.3}, noisy {noisy:.3}"
+    );
+}
+
+/// Section 4 claim: VE-full's per-iteration visible latency is on the order
+/// of one second (B = 5 segments, selection + inference only).
+#[test]
+fn ve_full_visible_latency_is_about_one_second_per_iteration() {
+    let mut cfg = fixed_feature(quick(DatasetName::Deer, 15, 12), ExtractorId::R3d);
+    cfg.system = cfg.system.with_strategy(SchedulerStrategy::VeFull);
+    let outcome = SessionRunner::new(cfg).run();
+    // Skip the first iteration (cold start may extract features for the very
+    // first batch before any eager extraction has happened).
+    for record in outcome.records.iter().skip(1) {
+        assert!(
+            record.visible_latency_secs < 2.5,
+            "iteration {} visible latency {:.2}s exceeds the ~1s target",
+            record.iteration,
+            record.visible_latency_secs
+        );
+    }
+}
