@@ -8,10 +8,11 @@
 //! ascending-cluster-size order so no single dense region dominates the
 //! batch. The original paper clusters once with HAC; this implementation
 //! uses a small deterministic k-means over the margin-filtered set, which
-//! serves the same purpose at the candidate-set sizes VOCALExplore works
-//! with (tens to a few hundred vectors per `Explore` call).
+//! serves the same purpose at VOCALExplore's candidate-set sizes. The
+//! margin-filtered pool is gathered into a contiguous [`FeatureBlock`] so
+//! the k-means assign step is one blocked, parallel nearest-centroid sweep.
 
-use ve_ml::tensor::squared_distance;
+use ve_ml::{FeatureBlock, FeatureBlockBuilder};
 
 /// Configuration for Cluster-Margin.
 #[derive(Debug, Clone, Copy)]
@@ -38,18 +39,19 @@ impl Default for ClusterMarginConfig {
 
 /// Selects `budget` candidate indices with Cluster-Margin sampling.
 ///
-/// * `features` — candidate feature vectors.
-/// * `probs` — per-candidate class-probability vectors from the latest model
-///   (`features.len()` rows). When the model has not been trained yet
-///   (`probs` empty or rows empty), the margin stage degenerates to treating
-///   every candidate as maximally uncertain, leaving a purely
-///   diversity-driven selection.
+/// * `features` — candidate feature block (one row per candidate).
+/// * `probs` — per-candidate class-probability block from the latest model
+///   (`features.rows()` rows). When the model has not been trained yet
+///   (empty block, or fewer than two probability columns), the margin stage
+///   degenerates to treating every candidate as maximally uncertain, leaving
+///   a purely diversity-driven selection.
 ///
 /// # Panics
-/// Panics if `probs` is non-empty but has a different length than `features`.
+/// Panics if `probs` is non-empty but has a different row count than
+/// `features`.
 pub fn cluster_margin_selection(
-    features: &[Vec<f32>],
-    probs: &[Vec<f32>],
+    features: &FeatureBlock,
+    probs: &FeatureBlock,
     budget: usize,
     cfg: &ClusterMarginConfig,
 ) -> Vec<usize> {
@@ -58,30 +60,27 @@ pub fn cluster_margin_selection(
     }
     if !probs.is_empty() {
         assert_eq!(
-            probs.len(),
-            features.len(),
+            probs.rows(),
+            features.rows(),
             "probability rows must match candidates"
         );
     }
 
     // Stage 1: margin filtering.
-    let margins: Vec<f64> = (0..features.len())
-        .map(|i| {
-            if probs.is_empty() || probs[i].len() < 2 {
-                0.0 // unknown probabilities -> treat as maximally uncertain
-            } else {
-                margin(&probs[i])
-            }
-        })
-        .collect();
-    let pool_size = (cfg.margin_pool_multiplier.max(1) * budget).min(features.len());
-    let mut order: Vec<usize> = (0..features.len()).collect();
+    let margins = margins_of(probs, features.rows());
+    let pool_size = (cfg.margin_pool_multiplier.max(1) * budget).min(features.rows());
+    let mut order: Vec<usize> = (0..features.rows()).collect();
     order.sort_by(|&a, &b| margins[a].partial_cmp(&margins[b]).expect("NaN margin"));
     let pool: Vec<usize> = order.into_iter().take(pool_size).collect();
 
-    // Stage 2: cluster the pool for diversity.
-    let k = (cfg.clusters_per_budget.max(1) * budget).min(pool.len()).max(1);
-    let assignments = kmeans_assign(features, &pool, k, cfg.kmeans_iters);
+    // Stage 2: cluster the pool for diversity. The pool rows are gathered
+    // into their own contiguous block once; every k-means pass then streams
+    // that block.
+    let k = (cfg.clusters_per_budget.max(1) * budget)
+        .min(pool.len())
+        .max(1);
+    let pool_block = features.gather(&pool);
+    let assignments = kmeans_assign(&pool_block, k, cfg.kmeans_iters);
 
     // Stage 3: round-robin over clusters, ascending by cluster size, picking
     // the lowest-margin unpicked member of each cluster.
@@ -95,12 +94,17 @@ pub fn cluster_margin_selection(
     clusters.retain(|c| !c.is_empty());
     clusters.sort_by_key(|c| c.len());
 
-    let mut selected = Vec::with_capacity(budget);
+    round_robin(&clusters, budget.min(pool.len()))
+}
+
+/// Ascending-size round-robin pick of up to `take` members.
+pub(crate) fn round_robin(clusters: &[Vec<usize>], take: usize) -> Vec<usize> {
+    let mut selected = Vec::with_capacity(take);
     let mut cursor = vec![0usize; clusters.len()];
-    while selected.len() < budget.min(pool.len()) {
+    while selected.len() < take {
         let mut progressed = false;
         for (ci, cluster) in clusters.iter().enumerate() {
-            if selected.len() >= budget {
+            if selected.len() >= take {
                 break;
             }
             if cursor[ci] < cluster.len() {
@@ -114,6 +118,15 @@ pub fn cluster_margin_selection(
         }
     }
     selected
+}
+
+/// Per-candidate margins from a probability block; rows with fewer than two
+/// classes (or a missing model) count as maximally uncertain (margin 0).
+pub(crate) fn margins_of(probs: &FeatureBlock, n: usize) -> Vec<f64> {
+    if probs.is_empty() || probs.dim() < 2 {
+        return vec![0.0; n];
+    }
+    (0..n).map(|i| margin(probs.row(i))).collect()
 }
 
 /// Margin of a probability vector: difference between its two largest values.
@@ -136,78 +149,72 @@ fn margin(p: &[f32]) -> f64 {
     (top - second).max(0.0) as f64
 }
 
-/// Deterministic k-means over the pooled candidates; returns the cluster
-/// assignment of each pool member. Initial centroids are chosen by a
-/// farthest-point sweep (k-means++ without randomness).
-fn kmeans_assign(
-    features: &[Vec<f32>],
-    pool: &[usize],
-    k: usize,
-    iters: usize,
-) -> Vec<usize> {
-    let k = k.min(pool.len()).max(1);
-    // Farthest-point initialization starting from the pool's first element.
-    let mut centroid_ids = vec![pool[0]];
-    while centroid_ids.len() < k {
-        let next = pool
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let da = centroid_ids
-                    .iter()
-                    .map(|&c| squared_distance(&features[a], &features[c]))
-                    .fold(f32::INFINITY, f32::min);
-                let db = centroid_ids
-                    .iter()
-                    .map(|&c| squared_distance(&features[b], &features[c]))
-                    .fold(f32::INFINITY, f32::min);
-                da.partial_cmp(&db).expect("NaN distance")
-            })
-            .expect("pool not empty");
-        if centroid_ids.contains(&next) {
+/// Deterministic k-means over a contiguous pool block; returns the cluster
+/// assignment of each pool row. Initial centroids are chosen by a
+/// farthest-point sweep (k-means++ without randomness) starting from row 0;
+/// ties in both initialization and assignment go to the first (lowest) index.
+fn kmeans_assign(pool: &FeatureBlock, k: usize, iters: usize) -> Vec<usize> {
+    let n = pool.rows();
+    let k = k.min(n).max(1);
+    if pool.dim() == 0 {
+        // Degenerate zero-dimensional features: every distance is 0, so all
+        // rows belong to the first centroid (first-index-wins), matching the
+        // seed behaviour.
+        return vec![0; n];
+    }
+
+    // Farthest-point initialization: maintain, for every row, its squared
+    // distance to the nearest chosen centroid; each step adds the first row
+    // attaining the maximum. One parallel distance pass per chosen centroid
+    // instead of the seed's O(centroids · pool²) rescans.
+    let mut centroid_rows = vec![0usize];
+    let mut init_min = vec![0.0f32; n];
+    pool.sq_distances_to(pool.row(0), &mut init_min);
+    while centroid_rows.len() < k {
+        let mut best = 0usize;
+        let mut best_d = f32::NEG_INFINITY;
+        for (i, &d) in init_min.iter().enumerate() {
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        if centroid_rows.contains(&best) {
             break;
         }
-        centroid_ids.push(next);
+        centroid_rows.push(best);
+        pool.min_sq_distances_update(pool.row(best), &mut init_min);
     }
-    let dim = features[pool[0]].len();
-    let mut centroids: Vec<Vec<f32>> = centroid_ids
-        .iter()
-        .map(|&i| features[i].clone())
-        .collect();
-    let mut assignment = vec![0usize; pool.len()];
+
+    let dim = pool.dim();
+    let mut centroids = pool.gather(&centroid_rows);
+    let mut assignment = vec![0usize; n];
 
     for _ in 0..iters.max(1) {
-        // Assign.
-        for (pos, &cand) in pool.iter().enumerate() {
-            let mut best = 0;
-            let mut best_d = f32::INFINITY;
-            for (ci, c) in centroids.iter().enumerate() {
-                let d = squared_distance(&features[cand], c);
-                if d < best_d {
-                    best_d = d;
-                    best = ci;
-                }
-            }
-            assignment[pos] = best;
-        }
+        // Assign: one blocked, parallel nearest-centroid sweep.
+        assignment = pool.nearest_rows(&centroids);
         // Update.
-        let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
-        let mut counts = vec![0usize; centroids.len()];
-        for (pos, &cand) in pool.iter().enumerate() {
-            let a = assignment[pos];
+        let mut sums = vec![0.0f32; centroids.rows() * dim];
+        let mut counts = vec![0usize; centroids.rows()];
+        for (pos, &a) in assignment.iter().enumerate() {
             counts[a] += 1;
-            for (s, &v) in sums[a].iter_mut().zip(&features[cand]) {
+            let row = pool.row(pos);
+            let acc = &mut sums[a * dim..(a + 1) * dim];
+            for (s, &v) in acc.iter_mut().zip(row) {
                 *s += v;
             }
         }
-        for (ci, c) in centroids.iter_mut().enumerate() {
+        let mut next = FeatureBlockBuilder::with_capacity(centroids.rows(), dim);
+        for (ci, chunk) in sums.chunks(dim.max(1)).enumerate().take(centroids.rows()) {
             if counts[ci] > 0 {
                 let inv = 1.0 / counts[ci] as f32;
-                for (dst, s) in c.iter_mut().zip(&sums[ci]) {
-                    *dst = s * inv;
-                }
+                let row: Vec<f32> = chunk.iter().map(|s| s * inv).collect();
+                next.push_row(&row);
+            } else {
+                next.push_row(centroids.row(ci));
             }
         }
+        centroids = next.build();
     }
     assignment
 }
@@ -216,9 +223,13 @@ fn kmeans_assign(
 mod tests {
     use super::*;
 
+    fn block(rows: &[Vec<f32>]) -> FeatureBlock {
+        FeatureBlock::from_nested(rows)
+    }
+
     /// Candidates in two well-separated clusters with synthetic class
     /// probabilities: cluster A is certain, cluster B is uncertain.
-    fn setup() -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    fn setup() -> (FeatureBlock, FeatureBlock) {
         let mut feats = Vec::new();
         let mut probs = Vec::new();
         for i in 0..10 {
@@ -229,7 +240,7 @@ mod tests {
             feats.push(vec![10.0 + i as f32 * 0.01, 0.0]);
             probs.push(vec![0.52, 0.48]); // uncertain
         }
-        (feats, probs)
+        (block(&feats), block(&probs))
     }
 
     #[test]
@@ -263,17 +274,34 @@ mod tests {
         for i in 0..10 {
             feats.push(vec![10.0 + i as f32 * 0.01, 0.0]);
         }
-        let probs = vec![vec![0.5, 0.5]; 20];
-        let picks = cluster_margin_selection(&feats, &probs, 4, &ClusterMarginConfig::default());
+        let probs = block(&vec![vec![0.5, 0.5]; 20]);
+        // One cluster per budget slot: with k = 4 over two well-separated
+        // blobs each blob owns at least one cluster, so the round-robin
+        // stage *must* span both (at k = 2×budget the spread depends on how
+        // k-means tie-breaks split the blobs, which is not a property worth
+        // pinning down).
+        let cfg = ClusterMarginConfig {
+            clusters_per_budget: 1,
+            ..ClusterMarginConfig::default()
+        };
+        let picks = cluster_margin_selection(&block(&feats), &probs, 4, &cfg);
         let left = picks.iter().filter(|&&i| i < 10).count();
         let right = picks.len() - left;
-        assert!(left >= 1 && right >= 1, "picks should span both clusters: {picks:?}");
+        assert!(
+            left >= 1 && right >= 1,
+            "picks should span both clusters: {picks:?}"
+        );
     }
 
     #[test]
     fn works_without_model_probabilities() {
         let (feats, _) = setup();
-        let picks = cluster_margin_selection(&feats, &[], 6, &ClusterMarginConfig::default());
+        let picks = cluster_margin_selection(
+            &feats,
+            &FeatureBlock::empty(0),
+            6,
+            &ClusterMarginConfig::default(),
+        );
         assert_eq!(picks.len(), 6);
         let unique: std::collections::HashSet<_> = picks.iter().collect();
         assert_eq!(unique.len(), picks.len());
@@ -288,10 +316,33 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(cluster_margin_selection(&[], &[], 5, &ClusterMarginConfig::default()).is_empty());
+        assert!(cluster_margin_selection(
+            &FeatureBlock::empty(2),
+            &FeatureBlock::empty(2),
+            5,
+            &ClusterMarginConfig::default()
+        )
+        .is_empty());
         let (feats, probs) = setup();
-        assert!(cluster_margin_selection(&feats, &probs, 0, &ClusterMarginConfig::default())
-            .is_empty());
+        assert!(
+            cluster_margin_selection(&feats, &probs, 0, &ClusterMarginConfig::default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn zero_dimensional_features_do_not_panic() {
+        // Regression: the k-means update used to rebuild an empty centroid
+        // set for dim-0 blocks and panic in the next assignment pass.
+        let feats = FeatureBlock::from_vec(6, 0, Vec::new());
+        let picks = cluster_margin_selection(
+            &feats,
+            &FeatureBlock::empty(0),
+            3,
+            &ClusterMarginConfig::default(),
+        );
+        assert_eq!(picks.len(), 3);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), picks.len());
     }
 
     #[test]
@@ -308,8 +359,8 @@ mod tests {
     #[should_panic(expected = "probability rows must match")]
     fn rejects_mismatched_probs() {
         cluster_margin_selection(
-            &[vec![0.0, 1.0], vec![1.0, 0.0]],
-            &[vec![0.5, 0.5]],
+            &block(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+            &block(&[vec![0.5, 0.5]]),
             1,
             &ClusterMarginConfig::default(),
         );
@@ -330,8 +381,12 @@ mod tests {
                 let feats: Vec<Vec<f32>> = (0..n)
                     .map(|i| seed_vals[i * 3..i * 3 + 3].to_vec())
                     .collect();
-                let picks =
-                    cluster_margin_selection(&feats, &[], budget, &ClusterMarginConfig::default());
+                let picks = cluster_margin_selection(
+                    &FeatureBlock::from_nested(&feats),
+                    &FeatureBlock::empty(0),
+                    budget,
+                    &ClusterMarginConfig::default(),
+                );
                 prop_assert!(picks.len() <= budget.min(n));
                 let unique: std::collections::HashSet<_> = picks.iter().collect();
                 prop_assert_eq!(unique.len(), picks.len());

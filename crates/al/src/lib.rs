@@ -33,5 +33,5 @@ pub use cluster_margin::{cluster_margin_selection, ClusterMarginConfig};
 pub use coreset::coreset_selection;
 pub use hac::{cluster_margin_selection_hac, hac_average_linkage};
 pub use random::random_selection;
-pub use uncertainty::uncertainty_selection;
+pub use uncertainty::{uncertainty_selection, uncertainty_selection_from_probs};
 pub use ve_sample::{AcquisitionKind, VeSample, VeSampleConfig};

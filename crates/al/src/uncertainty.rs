@@ -45,6 +45,39 @@ pub fn uncertainty_selection(
     order
 }
 
+/// [`uncertainty_selection`] fed directly from a probability block (one row
+/// per candidate, one column per class) as produced by the Model Manager's
+/// batch prediction.
+///
+/// With an empty block (no trained model) every candidate scores `0.5`
+/// (maximal uncertainty). With a trained model, a class index beyond the
+/// block's columns scores `0.0` — "the model sees no evidence of this
+/// class" — which in the rare phase surfaces nothing confidently and in the
+/// common phase treats every candidate alike. Both rules replicate the
+/// ALM's original behaviour exactly.
+pub fn uncertainty_selection_from_probs(
+    probs: &ve_ml::FeatureBlock,
+    class: usize,
+    n_candidates: usize,
+    n_positive: u64,
+    n_negative: u64,
+    budget: usize,
+) -> Vec<usize> {
+    let class_probs: Vec<f32> = if probs.is_empty() {
+        vec![0.5; n_candidates]
+    } else {
+        assert_eq!(
+            probs.rows(),
+            n_candidates,
+            "probability rows must match candidates"
+        );
+        (0..probs.rows())
+            .map(|i| probs.row(i).get(class).copied().unwrap_or(0.0))
+            .collect()
+    };
+    uncertainty_selection(&class_probs, n_positive, n_negative, budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +118,23 @@ mod tests {
     fn empty_inputs() {
         assert!(uncertainty_selection(&[], 0, 0, 5).is_empty());
         assert!(uncertainty_selection(&[0.5], 0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn from_probs_block_extracts_the_class_column() {
+        let probs =
+            ve_ml::FeatureBlock::from_nested(&[vec![0.1, 0.9], vec![0.6, 0.4], vec![0.2, 0.8]]);
+        // Rare phase for class 1: most confident positives first.
+        let picks = uncertainty_selection_from_probs(&probs, 1, 3, 0, 10, 2);
+        assert_eq!(picks, vec![0, 2]);
+        // Missing model: every candidate at 0.5, order preserved by stable
+        // sort on equal keys.
+        let empty = ve_ml::FeatureBlock::empty(0);
+        let picks = uncertainty_selection_from_probs(&empty, 1, 3, 10, 0, 2);
+        assert_eq!(picks.len(), 2);
+        // Class beyond the block's columns scores 0.0 for every candidate.
+        let picks = uncertainty_selection_from_probs(&probs, 7, 3, 0, 10, 1);
+        assert_eq!(picks.len(), 1);
     }
 
     #[test]

@@ -228,7 +228,10 @@ mod tests {
         }
         assert!(policy.has_switched());
         // Even if subsequent counts look uniform, the policy stays latched.
-        assert_eq!(policy.observe(&[100, 100, 100, 100]), AcquisitionKind::ClusterMargin);
+        assert_eq!(
+            policy.observe(&[100, 100, 100, 100]),
+            AcquisitionKind::ClusterMargin
+        );
     }
 
     #[test]

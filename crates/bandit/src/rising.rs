@@ -116,7 +116,8 @@ impl<A: Copy + Eq + Hash> RisingBandit<A> {
         let mut map = HashMap::with_capacity(arms.len());
         for &a in &arms {
             assert!(
-                map.insert(a, ArmState::new(config.smoothing_span)).is_none(),
+                map.insert(a, ArmState::new(config.smoothing_span))
+                    .is_none(),
                 "duplicate arm"
             );
         }
@@ -309,7 +310,8 @@ mod tests {
 
     #[test]
     fn selects_the_best_arm_with_clear_gaps() {
-        let (bandit, selected) = run_bandit(&[0.85, 0.55, 0.30, 0.05], RisingBanditConfig::default(), 60);
+        let (bandit, selected) =
+            run_bandit(&[0.85, 0.55, 0.30, 0.05], RisingBanditConfig::default(), 60);
         assert_eq!(selected, Some(0));
         assert!(bandit.is_converged());
     }
@@ -334,7 +336,11 @@ mod tests {
         for step in 1..=10 {
             let scores = vec![(0usize, 0.9), (1usize, 0.05)];
             let event = bandit.observe(&scores);
-            assert_eq!(event, BanditEvent::None, "no elimination during warmup (step {step})");
+            assert_eq!(
+                event,
+                BanditEvent::None,
+                "no elimination during warmup (step {step})"
+            );
         }
         assert_eq!(bandit.active_arms().len(), 2);
     }
@@ -384,7 +390,10 @@ mod tests {
                 }
             }
         }
-        assert!(!eliminated_early, "slow-but-rising arm must survive early steps");
+        assert!(
+            !eliminated_early,
+            "slow-but-rising arm must survive early steps"
+        );
     }
 
     #[test]

@@ -2,34 +2,51 @@
 //!
 //! The paper's latency argument rests on sample selection being cheap
 //! relative to feature extraction; these benchmarks measure the per-call cost
-//! of Random, Coreset, and Cluster-Margin selection at realistic candidate
-//! pool sizes (B = 5, pools of 100–1000 windows, 64-dimensional features).
+//! of Random, Coreset, and Cluster-Margin selection at candidate pool sizes
+//! from the paper's hundreds up to the 20k-window pools the contiguous
+//! [`ve_ml::FeatureBlock`] kernels are built for (B = 5, 64-dimensional
+//! features), plus the Lance–Williams HAC used by the high-fidelity
+//! Cluster-Margin variant.
+//!
+//! `ve-bench`'s `bench_acquisition` binary emits the same measurements as
+//! machine-readable JSON (`BENCH_acquisition.json`) for tracking the perf
+//! trajectory across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use ve_al::{cluster_margin_selection, coreset_selection, random_selection, ClusterMarginConfig};
+use ve_al::{
+    cluster_margin_selection, coreset_selection, hac_average_linkage, random_selection,
+    ClusterMarginConfig,
+};
+use ve_ml::FeatureBlock;
 
-fn make_pool(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+fn make_pool(n: usize, dim: usize, seed: u64) -> (FeatureBlock, FeatureBlock) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let feats: Vec<Vec<f32>> = (0..n)
-        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
-        .collect();
-    let probs: Vec<Vec<f32>> = (0..n)
-        .map(|_| {
-            let a: f32 = rng.gen();
-            vec![a, 1.0 - a]
-        })
-        .collect();
-    (feats, probs)
+    let mut feats = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        feats.push(rng.gen::<f32>() * 2.0 - 1.0);
+    }
+    let mut probs = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        let a: f32 = rng.gen();
+        probs.push(a);
+        probs.push(1.0 - a);
+    }
+    (
+        FeatureBlock::from_vec(n, dim, feats),
+        FeatureBlock::from_vec(n, 2, probs),
+    )
 }
 
 fn bench_acquisition(c: &mut Criterion) {
     let mut group = c.benchmark_group("acquisition");
-    for &pool in &[100usize, 500, 1000] {
+    group.sample_size(15);
+    for &pool in &[1_000usize, 5_000, 20_000] {
         let (feats, probs) = make_pool(pool, 64, 7);
-        let labeled: Vec<Vec<f32>> = feats.iter().take(20).cloned().collect();
+        let labeled_idx: Vec<usize> = (0..20).collect();
+        let labeled = feats.gather(&labeled_idx);
 
         group.bench_with_input(BenchmarkId::new("random", pool), &pool, |b, &n| {
             let mut rng = StdRng::seed_from_u64(1);
@@ -41,6 +58,12 @@ fn bench_acquisition(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cluster_margin", pool), &pool, |b, _| {
             let cfg = ClusterMarginConfig::default();
             b.iter(|| black_box(cluster_margin_selection(&feats, &probs, 5, &cfg)))
+        });
+    }
+    for &n in &[500usize, 1_000] {
+        let (points, _) = make_pool(n, 64, 11);
+        group.bench_with_input(BenchmarkId::new("hac_lance_williams", n), &n, |b, _| {
+            b.iter(|| black_box(hac_average_linkage(&points, 50)))
         });
     }
     group.finish();

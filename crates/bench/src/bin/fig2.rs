@@ -17,7 +17,9 @@
 //! ```
 
 use ve_al::VeSampleConfig;
-use ve_bench::{print_header, print_row, run_averaged, with_fixed_feature, with_sampling, with_system, Profile};
+use ve_bench::{
+    print_header, print_row, run_averaged, with_fixed_feature, with_sampling, with_system, Profile,
+};
 use vocalexplore::prelude::*;
 use vocalexplore::{PreprocessPolicy, SamplingPolicy};
 
@@ -74,10 +76,7 @@ fn main() {
         // VE-lazy with incremental extraction of X candidate videos.
         for x in [10usize, 50, 100] {
             let outcome = run_averaged(&profile, dataset, |cfg| {
-                let cfg = with_sampling(
-                    cfg,
-                    SamplingPolicy::VeSample(VeSampleConfig::coreset()),
-                );
+                let cfg = with_sampling(cfg, SamplingPolicy::VeSample(VeSampleConfig::coreset()));
                 with_system(cfg, |s| {
                     s.with_strategy(SchedulerStrategy::VePartial)
                         .with_extra_candidates(x)

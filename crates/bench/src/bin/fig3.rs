@@ -17,7 +17,10 @@
 //! cargo run --release -p ve-bench --bin fig3 [-- --full]
 //! ```
 
-use ve_bench::{best_extractor, print_header, print_row, sampling_variants, with_fixed_feature, with_sampling, Profile};
+use ve_bench::{
+    best_extractor, print_header, print_row, sampling_variants, with_fixed_feature, with_sampling,
+    Profile,
+};
 use ve_stats::mean;
 use vocalexplore::prelude::*;
 

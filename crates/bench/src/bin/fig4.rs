@@ -59,7 +59,10 @@ fn main() {
         }
         cells.push(format!("{:.3}", concat_f1(&profile, dataset)));
         print_row(&cells, &widths);
-        println!("  -> best single feature on {dataset}: {} (F1 {:.3})", best.0, best.1);
+        println!(
+            "  -> best single feature on {dataset}: {} (F1 {:.3})",
+            best.0, best.1
+        );
     }
     println!(
         "\nExpected shape: R3D/MViT lead on Deer, MViT leads on K20 (skew) and Charades, the CLIP\n\

@@ -17,14 +17,21 @@ use vocalexplore::FeatureSelectionPolicy;
 
 fn main() {
     let profile = Profile::from_args();
-    let trials: u64 = if std::env::args().any(|a| a == "--full") { 20 } else { 8 };
+    let trials: u64 = if std::env::args().any(|a| a == "--full") {
+        20
+    } else {
+        8
+    };
     println!(
         "Figure 5: median feature-selection step with IQR ({} trials, C = 5, w = 5)\n",
         trials
     );
 
     let widths = [12, 22, 22];
-    print_header(&["Dataset", "T = 20  median [IQR]", "T = 50  median [IQR]"], &widths);
+    print_header(
+        &["Dataset", "T = 20  median [IQR]", "T = 50  median [IQR]"],
+        &widths,
+    );
 
     for dataset in DatasetName::all() {
         let mut cells = vec![dataset.to_string()];
@@ -32,12 +39,12 @@ fn main() {
             let mut steps = Vec::new();
             for trial in 0..trials {
                 let mut cfg = profile.session(dataset, trial * 131 + 3);
-                cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Bandit(
-                    RisingBanditConfig {
+                cfg.system = cfg
+                    .system
+                    .with_feature_selection(FeatureSelectionPolicy::Bandit(RisingBanditConfig {
                         horizon,
                         ..RisingBanditConfig::default()
-                    },
-                ));
+                    }));
                 let outcome = ve_bench::run_session(cfg);
                 if let Some(step) = outcome.feature_selected_at {
                     steps.push(step as f64);

@@ -15,7 +15,9 @@
 //! ```
 
 use ve_al::VeSampleConfig;
-use ve_bench::{best_extractor, print_header, print_row, with_fixed_feature, with_sampling, Profile};
+use ve_bench::{
+    best_extractor, print_header, print_row, with_fixed_feature, with_sampling, Profile,
+};
 use ve_stats::mean;
 use vocalexplore::prelude::*;
 use vocalexplore::SamplingPolicy;

@@ -63,7 +63,8 @@ fn main() {
             "VE-full".to_string(),
             run_averaged(&profile, dataset, |cfg| {
                 with_system(cfg, |s| {
-                    s.with_strategy(SchedulerStrategy::VeFull).with_extra_candidates(0)
+                    s.with_strategy(SchedulerStrategy::VeFull)
+                        .with_extra_candidates(0)
                 })
             }),
         ));

@@ -12,7 +12,9 @@
 //! cargo run --release -p ve-bench --bin fig9 [-- --full]
 //! ```
 
-use ve_bench::{correct_extractors, print_header, print_row, with_fixed_feature, with_sampling, Profile};
+use ve_bench::{
+    correct_extractors, print_header, print_row, with_fixed_feature, with_sampling, Profile,
+};
 use ve_stats::mean;
 use vocalexplore::prelude::*;
 use vocalexplore::SamplingPolicy;
@@ -27,7 +29,11 @@ fn main() {
     let noise_levels = [0.0, 0.05, 0.10, 0.20];
     let widths = [12, 12, 12, 12, 12, 14];
     let mut header = vec!["Dataset".to_string()];
-    header.extend(noise_levels.iter().map(|n| format!("noise {:.0}%", n * 100.0)));
+    header.extend(
+        noise_levels
+            .iter()
+            .map(|n| format!("noise {:.0}%", n * 100.0)),
+    );
     header.push("Worst combo".to_string());
     print_header(
         &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -48,12 +54,7 @@ fn main() {
                     correct += 1;
                 }
             }
-            cells.push(format!(
-                "{:.3} ({}/{})",
-                mean(&f1s),
-                correct,
-                profile.seeds
-            ));
+            cells.push(format!("{:.3} ({}/{})", mean(&f1s), correct, profile.seeds));
         }
         // Worst combination: random sampling on the weakest pretrained feature.
         let worst_feat = ExtractorId::all()

@@ -18,7 +18,11 @@ use vocalexplore::FeatureSelectionPolicy;
 
 fn main() {
     let profile = Profile::from_args();
-    let trials: u64 = if std::env::args().any(|a| a == "--full") { 12 } else { 6 };
+    let trials: u64 = if std::env::args().any(|a| a == "--full") {
+        12
+    } else {
+        6
+    };
     println!(
         "Rising-bandit hyperparameter sensitivity ({} trials per cell)\n",
         trials
@@ -37,14 +41,16 @@ fn main() {
                     let mut correct = 0usize;
                     for trial in 0..trials {
                         let mut cfg = profile.session(dataset, trial * 977 + 13);
-                        cfg.system = cfg.system.with_feature_selection(
-                            FeatureSelectionPolicy::Bandit(RisingBanditConfig {
-                                horizon: t,
-                                slope_window: c,
-                                smoothing_span: w,
-                                ..RisingBanditConfig::default()
-                            }),
-                        );
+                        cfg.system =
+                            cfg.system
+                                .with_feature_selection(FeatureSelectionPolicy::Bandit(
+                                    RisingBanditConfig {
+                                        horizon: t,
+                                        slope_window: c,
+                                        smoothing_span: w,
+                                        ..RisingBanditConfig::default()
+                                    },
+                                ));
                         let outcome = ve_bench::run_session(cfg);
                         if correct_set.contains(&outcome.final_extractor) {
                             correct += 1;

@@ -19,7 +19,14 @@ fn main() {
     println!("Table 2: Datasets (paper specification)\n");
     let widths = [12, 9, 8, 13, 12, 12];
     print_header(
-        &["Dataset", "#classes", "Skew", "Train videos", "Eval videos", "Task"],
+        &[
+            "Dataset",
+            "#classes",
+            "Skew",
+            "Train videos",
+            "Eval videos",
+            "Task",
+        ],
         &widths,
     );
     for name in DatasetName::all() {
@@ -44,7 +51,13 @@ fn main() {
     println!("\nGenerated corpora at scale {scale} (verifying class-count shape):\n");
     let widths = [12, 13, 12, 14, 16];
     print_header(
-        &["Dataset", "Train videos", "Eval videos", "Train S_max", "Imbalance ratio"],
+        &[
+            "Dataset",
+            "Train videos",
+            "Eval videos",
+            "Train S_max",
+            "Imbalance ratio",
+        ],
         &widths,
     );
     for name in DatasetName::all() {

@@ -16,7 +16,15 @@ fn main() {
     println!("Table 3: Features used by VOCALExplore\n");
     let widths = [14, 6, 12, 16, 5, 6, 16];
     print_header(
-        &["Feature", "Type", "Architecture", "Pretrained", "Dim", "Tput.", "Secs / 10 s clip"],
+        &[
+            "Feature",
+            "Type",
+            "Architecture",
+            "Pretrained",
+            "Dim",
+            "Tput.",
+            "Secs / 10 s clip",
+        ],
         &widths,
     );
     for e in ExtractorId::all() {

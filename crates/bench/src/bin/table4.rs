@@ -21,7 +21,11 @@ use vocalexplore::FeatureSelectionPolicy;
 fn main() {
     let profile = Profile::from_args();
     // Correctness needs more repetitions than the latency experiments.
-    let trials: u64 = if std::env::args().any(|a| a == "--full") { 20 } else { 8 };
+    let trials: u64 = if std::env::args().any(|a| a == "--full") {
+        20
+    } else {
+        8
+    };
     println!(
         "Table 4: feature-selection correctness ({} trials per cell, C = 5, w = 5)\n",
         trials
@@ -40,12 +44,12 @@ fn main() {
             let mut correct = 0usize;
             for trial in 0..trials {
                 let mut cfg = profile.session(dataset, trial * 131 + 3);
-                cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Bandit(
-                    RisingBanditConfig {
+                cfg.system = cfg
+                    .system
+                    .with_feature_selection(FeatureSelectionPolicy::Bandit(RisingBanditConfig {
                         horizon,
                         ..RisingBanditConfig::default()
-                    },
-                ));
+                    }));
                 let outcome = ve_bench::run_session(cfg);
                 if correct_set.contains(&outcome.final_extractor) {
                     correct += 1;

@@ -235,7 +235,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a Markdown-style table header with separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
 }
@@ -268,7 +271,14 @@ mod tests {
         let names: Vec<&str> = sampling_variants().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["Random", "Coreset", "Cluster-Margin", "VE-sample", "VE-sample (CM)", "Freq."]
+            vec![
+                "Random",
+                "Coreset",
+                "Cluster-Margin",
+                "VE-sample",
+                "VE-sample (CM)",
+                "Freq."
+            ]
         );
     }
 

@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop: warm-up, then a fixed number of
+//! timed samples whose median per-iteration time is printed. No plots, no
+//! statistics beyond median/min/max, but the output is stable enough to eyeball
+//! regressions and is consumed by `ve-bench`'s JSON emitter.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, f);
+    }
+}
+
+/// Identifier combining a function name and a parameter, as in
+/// `BenchmarkId::new("coreset", pool_size)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{function}/{parameter}"`.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark without parameters.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.group);
+        run_benchmark(&full, self.sample_size.unwrap_or(30), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group, id);
+        run_benchmark(&full, self.sample_size.unwrap_or(30), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `iters` executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One timed sample: runs the closure with a chosen iteration count and
+/// returns nanoseconds per iteration.
+fn sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> f64 {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// Runs one benchmark: calibrates an iteration count targeting ~20 ms per
+/// sample, takes `samples` timed samples, and prints median/min/max.
+pub fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibration: start at 1 iteration and grow until a sample takes >= 5 ms
+    // (or the per-iteration cost is clearly large).
+    let mut iters = 1u64;
+    let mut per_iter = sample(&mut f, iters);
+    while per_iter * (iters as f64) < 5_000_000.0 && iters < (1 << 20) {
+        iters *= 2;
+        per_iter = sample(&mut f, iters);
+    }
+    let mut times: Vec<f64> = (0..samples.max(3)).map(|_| sample(&mut f, iters)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    println!(
+        "{name:<50} median {:>12} min {:>12} max {:>12} ({} iters/sample)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        iters
+    );
+    record_result(name, median);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+use std::sync::Mutex;
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn record_result(name: &str, median_ns: f64) {
+    RESULTS
+        .lock()
+        .expect("results lock")
+        .push((name.to_string(), median_ns));
+}
+
+/// All `(benchmark id, median ns/iter)` pairs recorded so far in this
+/// process. Used by machine-readable benchmark emitters.
+pub fn recorded_results() -> Vec<(String, f64)> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Groups benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_produces_positive_median() {
+        run_benchmark("self_test", 3, |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let results = recorded_results();
+        let (name, ns) = results
+            .iter()
+            .find(|(n, _)| n == "self_test")
+            .expect("recorded");
+        assert_eq!(name, "self_test");
+        assert!(*ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(
+            BenchmarkId::new("coreset", 1000).to_string(),
+            "coreset/1000"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel::unbounded` MPSC surface used by `ve-sched` is provided,
+//! backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! Unbounded channels with `crossbeam::channel`-shaped signatures.
+
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the channel is currently empty
+        /// or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+
+        /// Drains all currently queued messages.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.try_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            let tx2 = tx.clone();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(rx.try_recv().is_none());
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

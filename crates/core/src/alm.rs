@@ -18,21 +18,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ve_al::{
-    cluster_margin_selection, coreset_selection, random_selection, uncertainty_selection,
-    AcquisitionKind, ClusterMarginConfig, VeSample,
+    cluster_margin_selection, coreset_selection, random_selection,
+    uncertainty_selection_from_probs, AcquisitionKind, ClusterMarginConfig, VeSample,
 };
 use ve_bandit::{RisingBandit, RisingBanditConfig};
 use ve_features::ExtractorId;
+use ve_ml::FeatureBlockBuilder;
 use ve_storage::{LabelRecord, LabelStore};
 use ve_vidsim::{ClassId, TimeRange, VideoCorpus, VideoId};
-
-/// A candidate segment assembled by the ALM before selection.
-#[derive(Debug, Clone)]
-struct Candidate {
-    vid: VideoId,
-    range: TimeRange,
-    features: Vec<f32>,
-}
 
 /// Statistics about the most recent selection (used for latency accounting).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,7 +133,10 @@ impl ActiveLearningManager {
     pub fn current_extractor(&self) -> ExtractorId {
         match &self.features {
             FeatureState::Fixed(e) => *e,
-            FeatureState::Bandit { bandit, last_scores } => {
+            FeatureState::Bandit {
+                bandit,
+                last_scores,
+            } => {
                 if let Some(sel) = bandit.selected() {
                     return sel;
                 }
@@ -183,7 +179,11 @@ impl ActiveLearningManager {
         mm: &ModelManager,
         labels: &[LabelRecord],
     ) -> Vec<(ExtractorId, f64)> {
-        let FeatureState::Bandit { bandit, last_scores } = &mut self.features else {
+        let FeatureState::Bandit {
+            bandit,
+            last_scores,
+        } = &mut self.features
+        else {
             return Vec::new();
         };
         if bandit.is_converged() {
@@ -314,26 +314,31 @@ impl ActiveLearningManager {
             }
         }
 
-        // Candidate windows = unlabeled windows of the pooled videos.
-        let mut candidates: Vec<Candidate> = Vec::new();
+        // Candidate windows = unlabeled windows of the pooled videos. The
+        // window metadata is kept in a parallel array while the embeddings go
+        // straight into one contiguous block — rows are copied once from the
+        // store's zero-copy views, never through intermediate `Vec<f32>`s.
+        let mut meta: Vec<(VideoId, TimeRange)> = Vec::new();
+        let mut rows = FeatureBlockBuilder::new();
         for vid in &pool {
-            let Some(clip) = corpus.get(*vid) else { continue };
+            let Some(clip) = corpus.get(*vid) else {
+                continue;
+            };
             let windows = clip.num_windows(clip_len);
-            for w in 0..windows {
-                let range = TimeRange::new(w as f64 * clip_len, (w + 1) as f64 * clip_len);
-                if labels.is_labeled(*vid, &range) {
-                    continue;
+            fm.with_video_features(extractor, corpus, *vid, |entry| {
+                for w in 0..windows {
+                    let range = TimeRange::new(w as f64 * clip_len, (w + 1) as f64 * clip_len);
+                    if labels.is_labeled(*vid, &range) {
+                        continue;
+                    }
+                    if let Some(i) = entry.window_for(&range) {
+                        meta.push((*vid, range));
+                        rows.push_row(entry.row(i));
+                    }
                 }
-                if let Some(fv) = fm.feature_for(extractor, corpus, *vid, &range) {
-                    candidates.push(Candidate {
-                        vid: *vid,
-                        range,
-                        features: fv.data,
-                    });
-                }
-            }
+            });
         }
-        if candidates.is_empty() {
+        if meta.is_empty() {
             let picks = self.random_segments(corpus, labels, budget, clip_len);
             return (
                 picks,
@@ -344,53 +349,51 @@ impl ActiveLearningManager {
                 },
             );
         }
+        let mut features = rows.build();
         // Cap the candidate-window count so per-call work stays bounded.
-        if candidates.len() > 2_000 {
-            candidates.shuffle(&mut self.rng);
-            candidates.truncate(2_000);
+        if meta.len() > 2_000 {
+            let mut keep: Vec<usize> = (0..meta.len()).collect();
+            keep.shuffle(&mut self.rng);
+            keep.truncate(2_000);
+            features = features.gather(&keep);
+            meta = keep.into_iter().map(|i| meta[i]).collect();
         }
 
-        let feature_rows: Vec<Vec<f32>> = candidates.iter().map(|c| c.features.clone()).collect();
         let indices = match acquisition {
             AcquisitionKind::Coreset => {
                 // Labeled features anchor the coverage set.
-                let labeled_feats: Vec<Vec<f32>> = labels
-                    .records()
-                    .iter()
-                    .filter_map(|r| fm.feature_for(extractor, corpus, r.vid, &r.range))
-                    .map(|fv| fv.data)
-                    .collect();
-                coreset_selection(&feature_rows, &labeled_feats, budget)
+                let mut labeled = FeatureBlockBuilder::new();
+                for r in labels.records() {
+                    fm.with_video_features(extractor, corpus, r.vid, |entry| {
+                        if let Some(i) = entry.window_for(&r.range) {
+                            labeled.push_row(entry.row(i));
+                        }
+                    });
+                }
+                let labeled = labeled.build();
+                coreset_selection(&features, &labeled, budget)
             }
             AcquisitionKind::ClusterMargin => {
-                let probs = mm.predict_proba_batch(extractor, &feature_rows);
-                cluster_margin_selection(
-                    &feature_rows,
-                    &probs,
-                    budget,
-                    &ClusterMarginConfig::default(),
-                )
+                let probs = mm.predict_proba_batch(extractor, &features);
+                cluster_margin_selection(&features, &probs, budget, &ClusterMarginConfig::default())
             }
             AcquisitionKind::Uncertainty => {
                 let class = target_label.expect("uncertainty sampling needs a target label");
-                let probs = mm.predict_proba_batch(extractor, &feature_rows);
-                let class_probs: Vec<f32> = if probs.is_empty() {
-                    vec![0.5; feature_rows.len()]
-                } else {
-                    probs.iter().map(|p| p.get(class).copied().unwrap_or(0.0)).collect()
-                };
+                let probs = mm.predict_proba_batch(extractor, &features);
                 let (n_pos, n_neg) = labels.positive_negative_counts(class);
-                uncertainty_selection(&class_probs, n_pos, n_neg, budget)
+                uncertainty_selection_from_probs(
+                    &probs,
+                    class,
+                    features.rows(),
+                    n_pos,
+                    n_neg,
+                    budget,
+                )
             }
-            AcquisitionKind::Random => {
-                random_selection(feature_rows.len(), budget, &mut self.rng)
-            }
+            AcquisitionKind::Random => random_selection(features.rows(), budget, &mut self.rng),
         };
 
-        let picks = indices
-            .into_iter()
-            .map(|i| (candidates[i].vid, candidates[i].range))
-            .collect();
+        let picks = indices.into_iter().map(|i| meta[i]).collect();
         (
             picks,
             SelectionStats {
@@ -480,10 +483,15 @@ mod tests {
         );
         assert_eq!(picks.len(), 5);
         assert_eq!(stats.acquisition, AcquisitionKind::Random);
-        assert_eq!(stats.extraction_secs, 0.0, "random sampling needs no features");
+        assert_eq!(
+            stats.extraction_secs, 0.0,
+            "random sampling needs no features"
+        );
         // Segments must be unlabeled and distinct.
-        let unique: std::collections::HashSet<_> =
-            picks.iter().map(|(v, r)| (*v, (r.start * 10.0) as i64)).collect();
+        let unique: std::collections::HashSet<_> = picks
+            .iter()
+            .map(|(v, r)| (*v, (r.start * 10.0) as i64))
+            .collect();
         assert_eq!(unique.len(), picks.len());
         for (vid, range) in &picks {
             assert!(!fx.labels.is_labeled(*vid, range));
@@ -506,13 +514,17 @@ mod tests {
     fn active_selection_extracts_extra_candidates_when_pool_is_small() {
         let mut fx = fixture(3);
         label_some(&mut fx, 30);
-        fx.mm
-            .train(ExtractorId::Mvit, &fx.dataset.train, &fx.fm, fx.labels.records(), 0, None);
-        let mut alm = ActiveLearningManager::new(
-            fx.config
-                .clone()
-                .with_sampling(crate::config::SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin)),
+        fx.mm.train(
+            ExtractorId::Mvit,
+            &fx.dataset.train,
+            &fx.fm,
+            fx.labels.records(),
+            0,
+            None,
         );
+        let mut alm = ActiveLearningManager::new(fx.config.clone().with_sampling(
+            crate::config::SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin),
+        ));
         let (picks, stats) = alm.select_segments(
             &fx.dataset.train,
             &fx.fm,
@@ -525,7 +537,10 @@ mod tests {
         );
         assert_eq!(picks.len(), 5);
         assert_eq!(stats.acquisition, AcquisitionKind::ClusterMargin);
-        assert!(stats.videos_extracted_for_call > 0, "lazy AL must extract X videos");
+        assert!(
+            stats.videos_extracted_for_call > 0,
+            "lazy AL must extract X videos"
+        );
         assert!(stats.extraction_secs > 0.0);
     }
 
@@ -550,8 +565,10 @@ mod tests {
         let mut cfg = fx.config.clone();
         cfg.extra_candidates_x = 0;
         let mut alm = ActiveLearningManager::new(
-            cfg.with_sampling(crate::config::SamplingPolicy::Fixed(AcquisitionKind::Coreset))
-                .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(extractor)),
+            cfg.with_sampling(crate::config::SamplingPolicy::Fixed(
+                AcquisitionKind::Coreset,
+            ))
+            .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(extractor)),
         );
         let (picks, stats) = alm.select_segments(
             &fx.dataset.train,
@@ -581,12 +598,8 @@ mod tests {
         // Run enough evaluation steps for warm-up plus elimination.
         let mut converged_at = None;
         for step in 0..60 {
-            let scores = alm.feature_evaluation_step(
-                &fx.dataset.train,
-                &fx.fm,
-                &fx.mm,
-                fx.labels.records(),
-            );
+            let scores =
+                alm.feature_evaluation_step(&fx.dataset.train, &fx.fm, &fx.mm, fx.labels.records());
             if step == 0 {
                 assert_eq!(scores.len(), 5, "all extractors evaluated initially");
             }
@@ -608,8 +621,14 @@ mod tests {
     fn targeted_explore_uses_uncertainty_sampling() {
         let mut fx = fixture(6);
         label_some(&mut fx, 30);
-        fx.mm
-            .train(ExtractorId::Mvit, &fx.dataset.train, &fx.fm, fx.labels.records(), 0, None);
+        fx.mm.train(
+            ExtractorId::Mvit,
+            &fx.dataset.train,
+            &fx.fm,
+            fx.labels.records(),
+            0,
+            None,
+        );
         let mut alm = ActiveLearningManager::new(fx.config.clone());
         let (picks, stats) = alm.select_segments(
             &fx.dataset.train,
@@ -628,11 +647,9 @@ mod tests {
     #[test]
     fn fixed_feature_policy_reports_single_extractor() {
         let fx = fixture(7);
-        let alm = ActiveLearningManager::new(
-            fx.config
-                .clone()
-                .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(ExtractorId::Clip)),
-        );
+        let alm = ActiveLearningManager::new(fx.config.clone().with_feature_selection(
+            crate::config::FeatureSelectionPolicy::Fixed(ExtractorId::Clip),
+        ));
         assert_eq!(alm.active_extractors(), vec![ExtractorId::Clip]);
         assert_eq!(alm.selected_extractor(), Some(ExtractorId::Clip));
         assert_eq!(alm.current_extractor(), ExtractorId::Clip);

@@ -63,8 +63,14 @@ mod tests {
             vid: VideoId(1),
             range: TimeRange::new(0.0, 1.0),
             predictions: vec![
-                Prediction { class: 2, probability: 0.7 },
-                Prediction { class: 0, probability: 0.2 },
+                Prediction {
+                    class: 2,
+                    probability: 0.7,
+                },
+                Prediction {
+                    class: 0,
+                    probability: 0.2,
+                },
             ],
         };
         assert_eq!(seg.top_prediction().unwrap().class, 2);

@@ -44,8 +44,7 @@ impl Default for FeatureSelectionPolicy {
 
 /// Preprocessing performed before the first `Explore` call (only the
 /// baselines use this; VOCALExplore itself never preprocesses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PreprocessPolicy {
     /// No preprocessing (pay-as-you-go).
     #[default]
@@ -54,7 +53,6 @@ pub enum PreprocessPolicy {
     /// (`Coreset-PP` and `VE-lazy (PP)` in Figures 2 and 8).
     AllVideos,
 }
-
 
 /// Latency cost model for the in-process tasks.
 ///
@@ -134,6 +132,15 @@ pub struct VocalExploreConfig {
     pub t_user: f64,
     /// RNG seed for sampling and simulation.
     pub seed: u64,
+    /// Worker threads for the data-parallel compute kernels (distance scans,
+    /// batch inference, CV folds). `0` uses the host's available
+    /// parallelism; `1` forces single-threaded execution. Results are
+    /// bit-identical at any setting — the knob trades wall-clock only.
+    ///
+    /// **Process-wide:** applied via `ve_sched::parallel::set_parallelism`
+    /// when a [`crate::VocalExplore`] is constructed, so the most recently
+    /// constructed system's setting governs all systems in the process.
+    pub compute_threads: usize,
 }
 
 impl VocalExploreConfig {
@@ -155,6 +162,7 @@ impl VocalExploreConfig {
             costs: CostModel::default(),
             t_user: 10.0,
             seed,
+            compute_threads: 0,
         }
     }
 
@@ -198,6 +206,13 @@ impl VocalExploreConfig {
         self.extra_candidates_x = x;
         self
     }
+
+    /// Overrides the data-parallel worker count (`0` = host parallelism,
+    /// `1` = single-threaded determinism audits).
+    pub fn with_compute_threads(mut self, threads: usize) -> Self {
+        self.compute_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +227,10 @@ mod tests {
         assert_eq!(cfg.t_user, 10.0);
         assert_eq!(cfg.strategy, SchedulerStrategy::VeFull);
         assert!(matches!(cfg.sampling, SamplingPolicy::VeSample(_)));
-        assert!(matches!(cfg.feature_selection, FeatureSelectionPolicy::Bandit(_)));
+        assert!(matches!(
+            cfg.feature_selection,
+            FeatureSelectionPolicy::Bandit(_)
+        ));
         assert_eq!(cfg.preprocess, PreprocessPolicy::None);
     }
 

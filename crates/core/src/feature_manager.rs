@@ -81,17 +81,33 @@ impl FeatureManager {
         vid: VideoId,
         range: &TimeRange,
     ) -> Option<FeatureVector> {
-        let clip = corpus.get(vid)?;
-        self.ensure_clip(extractor, clip);
-        self.storage.with_features(|f| {
-            f.get(extractor, vid).and_then(|vectors| {
-                vectors
-                    .iter()
-                    .find(|v| v.range.overlaps(range))
-                    .or_else(|| vectors.last())
-                    .cloned()
+        self.with_video_features(extractor, corpus, vid, |entry| {
+            entry.window_for(range).map(|i| FeatureVector {
+                extractor,
+                vid,
+                range: *entry.range(i),
+                data: entry.row(i).to_vec(),
             })
         })
+        .flatten()
+    }
+
+    /// Runs `f` over the contiguous feature windows of a video (extracting on
+    /// demand), without copying any embedding data out of the store. Returns
+    /// `None` only when the video is unknown to the corpus.
+    ///
+    /// This is the hot-path accessor: the ALM's candidate assembly and batch
+    /// prediction read rows as zero-copy views from inside the closure.
+    pub fn with_video_features<R>(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        vid: VideoId,
+        f: impl FnOnce(&ve_storage::VideoFeatures) -> R,
+    ) -> Option<R> {
+        let clip = corpus.get(vid)?;
+        self.ensure_clip(extractor, clip);
+        self.storage.with_features(|s| s.get(extractor, vid).map(f))
     }
 
     /// All cached vectors of a video for an extractor (extracting on demand).
@@ -105,8 +121,11 @@ impl FeatureManager {
             return Vec::new();
         };
         self.ensure_clip(extractor, clip);
-        self.storage
-            .with_features(|f| f.get(extractor, vid).map(|v| v.to_vec()).unwrap_or_default())
+        self.storage.with_features(|f| {
+            f.get(extractor, vid)
+                .map(|v| v.to_vectors())
+                .unwrap_or_default()
+        })
     }
 
     /// The per-clip extraction cost for an extractor (used by the scheduler's
@@ -146,7 +165,12 @@ mod tests {
         let (ds, fm) = setup();
         let clip = &ds.train.videos()[0];
         let fv = fm
-            .feature_for(ExtractorId::Mvit, &ds.train, clip.id, &TimeRange::new(3.2, 4.2))
+            .feature_for(
+                ExtractorId::Mvit,
+                &ds.train,
+                clip.id,
+                &TimeRange::new(3.2, 4.2),
+            )
             .unwrap();
         assert!(fv.range.overlaps(&TimeRange::new(3.2, 4.2)));
         assert_eq!(fv.vid, clip.id);
@@ -156,7 +180,12 @@ mod tests {
     fn feature_for_unknown_video_is_none() {
         let (ds, fm) = setup();
         assert!(fm
-            .feature_for(ExtractorId::Mvit, &ds.train, VideoId(999_999), &TimeRange::new(0.0, 1.0))
+            .feature_for(
+                ExtractorId::Mvit,
+                &ds.train,
+                VideoId(999_999),
+                &TimeRange::new(0.0, 1.0)
+            )
             .is_none());
     }
 
@@ -174,7 +203,8 @@ mod tests {
         let (ds, fm) = setup();
         let clip = &ds.train.videos()[0];
         assert!(
-            fm.extraction_cost(ExtractorId::Mvit, clip) > fm.extraction_cost(ExtractorId::R3d, clip)
+            fm.extraction_cost(ExtractorId::Mvit, clip)
+                > fm.extraction_cost(ExtractorId::R3d, clip)
         );
     }
 }

@@ -249,9 +249,7 @@ impl SessionRunner {
                 .collect();
             let gpu_before = system.feature_manager().gpu_seconds_spent();
             let batch = system.explore(cfg.batch_size, cfg.clip_len, None);
-            let acquisition = batch
-                .acquisition
-                .unwrap_or(AcquisitionKind::Random);
+            let acquisition = batch.acquisition.unwrap_or(AcquisitionKind::Random);
 
             // --- The oracle labels every returned segment.
             for seg in &batch.segments {
@@ -268,17 +266,16 @@ impl SessionRunner {
                 .iter()
                 .filter(|vid| !pool_before.contains(vid))
                 .count();
-            let gpu_spent_this_iter =
-                system.feature_manager().gpu_seconds_spent() - gpu_before;
+            let gpu_spent_this_iter = system.feature_manager().gpu_seconds_spent() - gpu_before;
             let per_video_extract = self.per_video_extraction_cost(&system, current_extractor);
             let extra_candidates = if acquisition == AcquisitionKind::Random {
                 0
             } else {
                 // Extraction performed for the candidate pool beyond the
                 // batch itself (the `X` extra videos of the lazy strategies).
-                let extra_secs =
-                    (gpu_spent_this_iter - videos_needing_extraction as f64 * per_video_extract)
-                        .max(0.0);
+                let extra_secs = (gpu_spent_this_iter
+                    - videos_needing_extraction as f64 * per_video_extract)
+                    .max(0.0);
                 (extra_secs / per_video_extract.max(1e-9)).round() as usize
             };
             let costs = IterationCosts {
@@ -394,8 +391,13 @@ impl SessionRunner {
                 let mut y_pred = Vec::new();
                 for clip in self.dataset.eval.videos() {
                     let mid = clip.duration / 2.0;
-                    let range = TimeRange::new(mid.floor(), (mid.floor() + self.config.clip_len).min(clip.duration));
-                    let Some(truth) = clip.segment_at(range.midpoint()).and_then(|s| s.primary_class())
+                    let range = TimeRange::new(
+                        mid.floor(),
+                        (mid.floor() + self.config.clip_len).min(clip.duration),
+                    );
+                    let Some(truth) = clip
+                        .segment_at(range.midpoint())
+                        .and_then(|s| s.primary_class())
                     else {
                         continue;
                     };
@@ -491,7 +493,9 @@ mod tests {
 
     #[test]
     fn f1_improves_with_labels_on_deer() {
-        let mut cfg = quick_session(DatasetName::Deer, 2).with_iterations(14).with_eval_every(13);
+        let mut cfg = quick_session(DatasetName::Deer, 2)
+            .with_iterations(14)
+            .with_eval_every(13);
         cfg.system.strategy = SchedulerStrategy::VeFull;
         let runner = SessionRunner::new(cfg);
         let outcome = runner.run();
@@ -528,8 +532,14 @@ mod tests {
         let serial = mk(SchedulerStrategy::Serial);
         let partial = mk(SchedulerStrategy::VePartial);
         let full = mk(SchedulerStrategy::VeFull);
-        assert!(serial > partial, "serial {serial} should exceed partial {partial}");
-        assert!(partial > full, "partial {partial} should exceed full {full}");
+        assert!(
+            serial > partial,
+            "serial {serial} should exceed partial {partial}"
+        );
+        assert!(
+            partial > full,
+            "partial {partial} should exceed full {full}"
+        );
     }
 
     #[test]

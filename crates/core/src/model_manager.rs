@@ -169,19 +169,30 @@ impl ModelManager {
     }
 
     /// Raw class probabilities for a batch of already-extracted feature
-    /// vectors (used by the acquisition functions).
+    /// vectors (used by the acquisition functions). Returns one probability
+    /// row per candidate as a contiguous block, or an empty block when no
+    /// model has been trained yet. Rows are scored in parallel across the
+    /// scheduler's data-parallel workers; output is identical at any thread
+    /// count.
     pub fn predict_proba_batch(
         &self,
         extractor: ExtractorId,
-        features: &[Vec<f32>],
-    ) -> Vec<Vec<f32>> {
+        features: &ve_ml::FeatureBlock,
+    ) -> ve_ml::FeatureBlock {
         let Some((_, fitted)) = self.registry.read().latest(extractor) else {
-            return Vec::new();
+            return ve_ml::FeatureBlock::empty(0);
         };
-        features
-            .iter()
-            .map(|f| fitted.model.predict_proba(&fitted.scaler.transform(f)))
-            .collect()
+        let rows = ve_sched::parallel::par_map(features.rows(), |i| {
+            fitted
+                .model
+                .predict_proba(&fitted.scaler.transform(features.row(i)))
+        });
+        let mut out =
+            ve_ml::FeatureBlockBuilder::with_capacity(features.rows(), fitted.model.num_classes());
+        for row in &rows {
+            out.push_row(row);
+        }
+        out.build()
     }
 
     /// Cross-validated macro-F1 estimate of the extractor's quality on the
@@ -338,10 +349,18 @@ mod tests {
         assert!(mm.has_model(ExtractorId::R3d));
         assert_eq!(mm.models_trained(), 1);
         let clip = &ds.train.videos()[70];
-        let preds = mm.predict(ExtractorId::R3d, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.0));
+        let preds = mm.predict(
+            ExtractorId::R3d,
+            &ds.train,
+            &fm,
+            clip.id,
+            &TimeRange::new(0.0, 1.0),
+        );
         assert_eq!(preds.len(), 9, "one probability per vocabulary class");
         // Sorted by decreasing probability and sums to ~1.
-        assert!(preds.windows(2).all(|w| w[0].probability >= w[1].probability));
+        assert!(preds
+            .windows(2)
+            .all(|w| w[0].probability >= w[1].probability));
         let total: f32 = preds.iter().map(|p| p.probability).sum();
         assert!((total - 1.0).abs() < 1e-3);
     }
@@ -351,9 +370,20 @@ mod tests {
         let (ds, fm, mm, _) = setup(10);
         let clip = &ds.train.videos()[0];
         assert!(mm
-            .predict(ExtractorId::Mvit, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.0))
+            .predict(
+                ExtractorId::Mvit,
+                &ds.train,
+                &fm,
+                clip.id,
+                &TimeRange::new(0.0, 1.0)
+            )
             .is_empty());
-        assert!(mm.predict_proba_batch(ExtractorId::Mvit, &[vec![0.0; 64]]).is_empty());
+        assert!(mm
+            .predict_proba_batch(
+                ExtractorId::Mvit,
+                &ve_ml::FeatureBlock::from_nested(&[vec![0.0; 64]])
+            )
+            .is_empty());
     }
 
     #[test]
@@ -371,7 +401,9 @@ mod tests {
     #[test]
     fn cv_returns_none_with_too_few_labels() {
         let (ds, fm, mm, labels) = setup(3);
-        assert!(mm.evaluate_cv(ExtractorId::R3d, &ds.train, &fm, &labels).is_none());
+        assert!(mm
+            .evaluate_cv(ExtractorId::R3d, &ds.train, &fm, &labels)
+            .is_none());
     }
 
     #[test]
@@ -399,11 +431,19 @@ mod tests {
             .collect();
         assert!(mm.train(ExtractorId::Clip, &ds.train, &fm, &labels, 0, None));
         let clip = &ds.train.videos()[90];
-        let preds = mm.predict(ExtractorId::Clip, &ds.train, &fm, clip.id, &TimeRange::new(0.0, 1.5));
+        let preds = mm.predict(
+            ExtractorId::Clip,
+            &ds.train,
+            &fm,
+            clip.id,
+            &TimeRange::new(0.0, 1.5),
+        );
         assert_eq!(preds.len(), 6);
         // Multi-label probabilities need not sum to one.
         assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
-        assert!(mm.evaluate_cv(ExtractorId::Clip, &ds.train, &fm, &labels).is_some());
+        assert!(mm
+            .evaluate_cv(ExtractorId::Clip, &ds.train, &fm, &labels)
+            .is_some());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct VocalExplore {
 impl VocalExplore {
     /// Creates a system for the configured dataset characteristics.
     pub fn new(config: VocalExploreConfig) -> Self {
+        ve_sched::parallel::set_parallelism(config.compute_threads);
         let storage = StorageManager::new();
         let simulator = FeatureSimulator::with_dim(
             config.dataset,
@@ -152,9 +153,7 @@ impl VocalExplore {
         // accounts its latency according to the scheduling strategy).
         self.process_pending_work();
 
-        let pool = self
-            .fm
-            .videos_with_features(self.alm.current_extractor());
+        let pool = self.fm.videos_with_features(self.alm.current_extractor());
         let (picks, stats) = self.alm.select_segments(
             &self.corpus,
             &self.fm,
@@ -197,9 +196,9 @@ impl VocalExplore {
             return 0;
         }
         // Feature evaluation for the bandit (one T_e per active extractor).
-        let scores =
-            self.alm
-                .feature_evaluation_step(&self.corpus, &self.fm, &self.mm, &labels);
+        let scores = self
+            .alm
+            .feature_evaluation_step(&self.corpus, &self.fm, &self.mm, &labels);
         // (Re)train the model of the extractor used for predictions when new
         // labels have arrived since the previous training.
         if labels.len() > self.labels_at_last_training {
@@ -208,10 +207,14 @@ impl VocalExplore {
                 .iter()
                 .find(|(e, _)| *e == extractor)
                 .map(|(_, s)| *s);
-            if self
-                .mm
-                .train(extractor, &self.corpus, &self.fm, &labels, self.iteration, cv)
-            {
+            if self.mm.train(
+                extractor,
+                &self.corpus,
+                &self.fm,
+                &labels,
+                self.iteration,
+                cv,
+            ) {
                 self.labels_at_last_training = labels.len();
             }
         }
@@ -263,7 +266,8 @@ impl VocalExplore {
             .into_iter()
             .map(|(vid, range)| {
                 let predictions = if have_enough_labels && self.mm.has_model(extractor) {
-                    self.mm.predict(extractor, &self.corpus, &self.fm, vid, &range)
+                    self.mm
+                        .predict(extractor, &self.corpus, &self.fm, vid, &range)
                 } else {
                     Vec::new()
                 };
@@ -355,7 +359,8 @@ mod tests {
     fn labels_are_not_resampled_by_explore() {
         let (dataset, mut system) = small_system(5);
         let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
-        let mut labeled: std::collections::HashSet<(VideoId, i64)> = std::collections::HashSet::new();
+        let mut labeled: std::collections::HashSet<(VideoId, i64)> =
+            std::collections::HashSet::new();
         for _ in 0..6 {
             let batch = system.explore(5, 1.0, None);
             for seg in &batch.segments {
@@ -375,17 +380,26 @@ mod tests {
     fn eager_extraction_grows_the_feature_pool() {
         let (_, mut system) = small_system(6);
         let extractor = system.current_extractor();
-        assert!(system.feature_manager().videos_with_features(extractor).is_empty());
+        assert!(system
+            .feature_manager()
+            .videos_with_features(extractor)
+            .is_empty());
         let spent = system.eager_extract(10);
         assert!(spent > 0.0);
         assert_eq!(
-            system.feature_manager().videos_with_features(extractor).len(),
+            system
+                .feature_manager()
+                .videos_with_features(extractor)
+                .len(),
             10
         );
         // A second call skips the already-covered videos.
         system.eager_extract(10);
         assert_eq!(
-            system.feature_manager().videos_with_features(extractor).len(),
+            system
+                .feature_manager()
+                .videos_with_features(extractor)
+                .len(),
             20
         );
     }

@@ -129,10 +129,7 @@ mod tests {
             let random_q = quality_for(d, ExtractorId::Random);
             for e in ExtractorId::all() {
                 if e != ExtractorId::Random {
-                    assert!(
-                        quality_for(d, e) > random_q,
-                        "{e} must beat Random on {d}"
-                    );
+                    assert!(quality_for(d, e) > random_q, "{e} must beat Random on {d}");
                 }
             }
         }

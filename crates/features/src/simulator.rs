@@ -194,6 +194,40 @@ impl FeatureSimulator {
             }
             centroids.push(c);
         }
+        // Calibrate the realized geometry: with few classes the *sampled*
+        // mean pairwise centroid distance can deviate substantially from the
+        // separation the profile asked for (random draw luck), which scrambles
+        // the Figure 4 orderings the profiles are supposed to encode. Rescale
+        // the centroid cloud so its mean pairwise squared distance equals the
+        // expectation `2 · informative · separation²` exactly.
+        if centroids.len() >= 2 {
+            let mut total = 0.0f64;
+            let mut pairs = 0usize;
+            for i in 0..centroids.len() {
+                for j in (i + 1)..centroids.len() {
+                    total += centroids[i]
+                        .iter()
+                        .zip(&centroids[j])
+                        .map(|(a, b)| {
+                            let d = (a - b) as f64;
+                            d * d
+                        })
+                        .sum::<f64>();
+                    pairs += 1;
+                }
+            }
+            let realized = total / pairs as f64;
+            let expected =
+                2.0 * informative as f64 * profile.class_separation * profile.class_separation;
+            if realized > 1e-12 {
+                let scale = (expected / realized).sqrt() as f32;
+                for c in &mut centroids {
+                    for v in c.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+        }
         centroids
     }
 
@@ -233,8 +267,7 @@ impl FeatureSimulator {
             *d += bm_vid.sample_with(&mut vid_rng, 0.0, profile.per_video_jitter) as f32;
         }
         // Per-segment noise on all dims.
-        let mut seg_rng =
-            StdRng::seed_from_u64(mix(latent_seed, extractor.index() as u64, 0x5eed));
+        let mut seg_rng = StdRng::seed_from_u64(mix(latent_seed, extractor.index() as u64, 0x5eed));
         let mut bm_seg = BoxMuller::new();
         for d in data.iter_mut() {
             *d += bm_seg.sample_with(&mut seg_rng, 0.0, profile.noise_std) as f32;
@@ -292,7 +325,9 @@ mod tests {
         let clip = &ds.train.videos()[0];
         let fvs = sim.extract_clip(ExtractorId::Mvit, clip);
         assert_eq!(fvs.len(), clip.segments.len());
-        assert!(fvs.iter().all(|f| f.data.len() == sim.dim(ExtractorId::Mvit)));
+        assert!(fvs
+            .iter()
+            .all(|f| f.data.len() == sim.dim(ExtractorId::Mvit)));
     }
 
     #[test]
@@ -336,11 +371,17 @@ mod tests {
             f1_r3d > f1_clip && f1_clip > f1_random,
             "expected R3D > CLIP > Random on Deer, got {f1_r3d:.3} / {f1_clip:.3} / {f1_random:.3}"
         );
-        assert!(f1_random < 0.35, "random feature should be near chance: {f1_random:.3}");
+        assert!(
+            f1_random < 0.35,
+            "random feature should be near chance: {f1_random:.3}"
+        );
         // With ~120 labels on the heavily skewed Deer dataset the paper's own
         // F1 curves sit in the 0.35–0.55 band (Figure 3a); require R3D to be
         // clearly above chance here.
-        assert!(f1_r3d > 0.4, "R3D should be clearly informative: {f1_r3d:.3}");
+        assert!(
+            f1_r3d > 0.4,
+            "R3D should be clearly informative: {f1_r3d:.3}"
+        );
     }
 
     #[test]

@@ -115,8 +115,11 @@ pub fn cross_validate(
     }
     let dense_classes = assignment.kept_classes.len();
 
-    let mut scores = Vec::with_capacity(cfg.folds);
-    for f in 0..cfg.folds {
+    // Each fold trains an independent model, so the folds fan out across
+    // `ve-sched`'s coarse task helper; results are collected in fold order
+    // (and every per-fold model seeds its own RNG from the config), so the
+    // score is identical at any thread count.
+    let fold_scores = ve_sched::parallel::par_map_tasks(cfg.folds, |f| {
         let mut train_x: Vec<Vec<f32>> = Vec::new();
         let mut train_y: Vec<usize> = Vec::new();
         let mut test_x: Vec<Vec<f32>> = Vec::new();
@@ -133,16 +136,17 @@ pub fn cross_validate(
             }
         }
         if test_x.is_empty() || train_x.is_empty() {
-            continue;
+            return None;
         }
         let distinct_train: std::collections::HashSet<usize> = train_y.iter().copied().collect();
         if distinct_train.len() < 2 {
-            continue;
+            return None;
         }
         let model = SoftmaxModel::fit(&train_x, &train_y, dense_classes, &cfg.train);
         let preds: Vec<usize> = test_x.iter().map(|x| model.predict(x)).collect();
-        scores.push(macro_f1(&test_y, &preds, dense_classes));
-    }
+        Some(macro_f1(&test_y, &preds, dense_classes))
+    });
+    let scores: Vec<f64> = fold_scores.into_iter().flatten().collect();
     if scores.is_empty() {
         None
     } else {
@@ -254,6 +258,19 @@ mod tests {
     #[test]
     fn cross_validate_empty_returns_none() {
         assert!(cross_validate(&[], &[], 3, &CrossValConfig::default()).is_none());
+    }
+
+    #[test]
+    fn parallel_folds_match_single_threaded_score() {
+        let (xs, ys) = blob_dataset(25, &[[0.0, 0.0], [4.0, 4.0], [-4.0, 4.0]], 0.9, 23);
+        let cfg = CrossValConfig::default();
+        let _guard = ve_sched::parallel::test_parallelism_guard();
+        ve_sched::parallel::set_parallelism(1);
+        let single = cross_validate(&xs, &ys, 3, &cfg).unwrap();
+        ve_sched::parallel::set_parallelism(4);
+        let multi = cross_validate(&xs, &ys, 3, &cfg).unwrap();
+        ve_sched::parallel::set_parallelism(0);
+        assert_eq!(single.to_bits(), multi.to_bits());
     }
 
     #[test]

@@ -100,7 +100,11 @@ mod tests {
         // A single spike in an otherwise flat series should be attenuated.
         let xs = [0.5, 0.5, 0.5, 0.9, 0.5, 0.5];
         let smoothed = Ewma::smooth_series(5, &xs);
-        assert!(smoothed[3] < 0.7, "spike should be dampened: {}", smoothed[3]);
+        assert!(
+            smoothed[3] < 0.7,
+            "spike should be dampened: {}",
+            smoothed[3]
+        );
         assert!(smoothed[3] > 0.5, "but still move toward the spike");
     }
 

@@ -18,6 +18,7 @@
 //! * exponential weighted moving-average smoothing ([`ewma`]) used to smooth
 //!   noisy per-step model quality (Section 3.2.4).
 
+pub mod block;
 pub mod crossval;
 pub mod ewma;
 pub mod linear;
@@ -25,6 +26,7 @@ pub mod metrics;
 pub mod scaler;
 pub mod tensor;
 
+pub use block::{dot_fast, sq_norm, FeatureBlock, FeatureBlockBuilder};
 pub use crossval::{cross_validate, stratified_k_fold, CrossValConfig, FoldAssignment};
 pub use ewma::Ewma;
 pub use linear::{Classifier, LabelKind, OneVsRestModel, SoftmaxModel, TrainConfig, TrainedModel};

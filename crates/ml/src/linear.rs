@@ -445,7 +445,10 @@ mod tests {
         let probs = model.predict_proba(&xs[0]);
         assert_eq!(probs.len(), 5);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
-        assert!(model.predict(&xs[0]) < 2, "should predict an observed class");
+        assert!(
+            model.predict(&xs[0]) < 2,
+            "should predict an observed class"
+        );
     }
 
     #[test]

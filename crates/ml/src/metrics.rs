@@ -59,7 +59,11 @@ impl ClassificationReport {
 }
 
 /// Builds a [`ClassificationReport`] from single-label predictions.
-pub fn per_class_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> ClassificationReport {
+pub fn per_class_f1(
+    y_true: &[usize],
+    y_pred: &[usize],
+    num_classes: usize,
+) -> ClassificationReport {
     let cm = confusion_matrix(y_true, y_pred, num_classes);
     let mut precision = vec![0.0; num_classes];
     let mut recall = vec![0.0; num_classes];
@@ -67,8 +71,14 @@ pub fn per_class_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> C
     let mut support = vec![0usize; num_classes];
     for c in 0..num_classes {
         let tp = cm[c][c] as f64;
-        let fp: f64 = (0..num_classes).filter(|&t| t != c).map(|t| cm[t][c] as f64).sum();
-        let fn_: f64 = (0..num_classes).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        let fp: f64 = (0..num_classes)
+            .filter(|&t| t != c)
+            .map(|t| cm[t][c] as f64)
+            .sum();
+        let fn_: f64 = (0..num_classes)
+            .filter(|&p| p != c)
+            .map(|p| cm[c][p] as f64)
+            .sum();
         support[c] = cm[c].iter().sum();
         precision[c] = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         recall[c] = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };

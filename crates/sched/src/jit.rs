@@ -166,7 +166,10 @@ mod tests {
         assert!(policy.t_user() < 2.0);
         assert!(policy.t_train() > 20.0);
         let s = policy.schedule();
-        assert_eq!(s.schedule_after_labels, 0, "slow training now needs a head start");
+        assert_eq!(
+            s.schedule_after_labels, 0,
+            "slow training now needs a head start"
+        );
         assert!(s.ready_in_iterations >= 3);
     }
 

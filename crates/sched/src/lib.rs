@@ -27,6 +27,7 @@
 pub mod eager;
 pub mod executor;
 pub mod jit;
+pub mod parallel;
 pub mod queue;
 pub mod simclock;
 pub mod strategy;

@@ -104,7 +104,10 @@ mod tests {
         q.submit(TaskKind::FeatureEvaluation, 1.0, "eval-1");
 
         let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|t| t.tag).collect();
-        assert_eq!(order, vec!["infer-1", "infer-2", "train-1", "eval-1", "bg-1"]);
+        assert_eq!(
+            order,
+            vec!["infer-1", "infer-2", "train-1", "eval-1", "bg-1"]
+        );
     }
 
     #[test]
@@ -123,7 +126,10 @@ mod tests {
         let mut q = PriorityTaskQueue::new();
         assert!(!q.has_foreground_work());
         q.submit(TaskKind::EagerFeatureExtraction, 1.0, "bg");
-        assert!(!q.has_foreground_work(), "background work alone is not foreground");
+        assert!(
+            !q.has_foreground_work(),
+            "background work alone is not foreground"
+        );
         q.submit(TaskKind::ModelTraining, 1.0, "train");
         assert!(q.has_foreground_work());
         assert_eq!(q.len(), 2);

@@ -131,7 +131,12 @@ mod tests {
     use crate::task::{TaskId, TaskKind};
 
     fn task(id: u64, cost: f64) -> Task {
-        Task::new(TaskId(id), TaskKind::FeatureExtraction, cost, format!("t{id}"))
+        Task::new(
+            TaskId(id),
+            TaskKind::FeatureExtraction,
+            cost,
+            format!("t{id}"),
+        )
     }
 
     #[test]

@@ -149,8 +149,8 @@ pub fn iteration_latency(strategy: SchedulerStrategy, costs: &IterationCosts) ->
     let b = costs.batch_size as f64;
     let k = costs.features_under_evaluation as f64;
     let select_and_infer = b * (costs.t_select + costs.t_infer);
-    let extraction = (costs.videos_needing_extraction + costs.extra_candidates) as f64
-        * costs.t_extract;
+    let extraction =
+        (costs.videos_needing_extraction + costs.extra_candidates) as f64 * costs.t_extract;
     let train_and_eval = costs.t_train + k * costs.t_eval;
 
     let (visible, background) = match strategy {

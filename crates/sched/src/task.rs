@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn default_priorities() {
-        assert_eq!(Priority::for_kind(TaskKind::ModelInference), Priority::Critical);
-        assert_eq!(Priority::for_kind(TaskKind::ModelTraining), Priority::Normal);
+        assert_eq!(
+            Priority::for_kind(TaskKind::ModelInference),
+            Priority::Critical
+        );
+        assert_eq!(
+            Priority::for_kind(TaskKind::ModelTraining),
+            Priority::Normal
+        );
         assert_eq!(
             Priority::for_kind(TaskKind::EagerFeatureExtraction),
             Priority::Background

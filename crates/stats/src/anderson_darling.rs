@@ -114,12 +114,12 @@ pub fn k_sample_anderson_darling(samples: &[Vec<f64>]) -> AndersonDarlingResult 
     }
     let k_f = k as f64;
     let a = (4.0 * g - 6.0) * (k_f - 1.0) + (10.0 - 6.0 * g) * h;
-    let b = (2.0 * g - 4.0) * k_f * k_f + 8.0 * hh * k_f
-        + (2.0 * g - 14.0 * hh - 4.0) * h
+    let b = (2.0 * g - 4.0) * k_f * k_f + 8.0 * hh * k_f + (2.0 * g - 14.0 * hh - 4.0) * h
         - 8.0 * hh
         + 4.0 * g
         - 6.0;
-    let c = (6.0 * hh + 2.0 * g - 2.0) * k_f * k_f + (4.0 * hh - 4.0 * g + 6.0) * k_f
+    let c = (6.0 * hh + 2.0 * g - 2.0) * k_f * k_f
+        + (4.0 * hh - 4.0 * g + 6.0) * k_f
         + (2.0 * hh - 6.0) * h
         + 4.0 * hh;
     let d = (2.0 * hh + 6.0) * k_f * k_f - 4.0 * hh * k_f;
@@ -154,9 +154,7 @@ fn p_value_from_standardized(tkn: f64, m: f64) -> f64 {
     let sig = [0.25, 0.10, 0.05, 0.025, 0.01, 0.005, 0.001];
 
     let sqrt_m = m.sqrt();
-    let critical: Vec<f64> = (0..7)
-        .map(|i| b0[i] + b1[i] / sqrt_m + b2[i] / m)
-        .collect();
+    let critical: Vec<f64> = (0..7).map(|i| b0[i] + b1[i] / sqrt_m + b2[i] / m).collect();
     let log_sig: Vec<f64> = sig.iter().map(|s: &f64| s.ln()).collect();
 
     // Outside the tabulated range the quadratic extrapolation is unreliable,

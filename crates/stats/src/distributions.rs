@@ -164,7 +164,11 @@ mod tests {
         let counts = zipf_frequencies(20, 2.0, 650, 3);
         assert_eq!(counts.len(), 20);
         assert_eq!(counts[0], 650, "most common class has 650 videos");
-        assert_eq!(*counts.last().unwrap(), 3, "least common class has 3 videos");
+        assert_eq!(
+            *counts.last().unwrap(),
+            3,
+            "least common class has 3 videos"
+        );
         // Monotone non-increasing.
         for w in counts.windows(2) {
             assert!(w[0] >= w[1]);

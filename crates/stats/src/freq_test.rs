@@ -55,7 +55,10 @@ impl Default for FrequencyTest {
     fn default() -> Self {
         // The paper's default configuration uses m = 1 and the same strict
         // significance level as the Anderson–Darling test.
-        Self { m: 1.0, alpha: 0.001 }
+        Self {
+            m: 1.0,
+            alpha: 0.001,
+        }
     }
 }
 

@@ -40,10 +40,7 @@ pub fn ln_beta(a: f64, b: f64) -> f64 {
 /// expansion (Numerical Recipes `betacf`), used to evaluate binomial CDFs
 /// without summing potentially millions of terms.
 pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&x),
-        "x must be within [0, 1], got {x}"
-    );
+    assert!((0.0..=1.0).contains(&x), "x must be within [0, 1], got {x}");
     if x == 0.0 {
         return 0.0;
     }

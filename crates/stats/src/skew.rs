@@ -211,7 +211,10 @@ mod tests {
         // infinite labels").
         let counts = [5_600u64, 4_400];
         let ad = SkewDetector::new(SkewTest::AndersonDarling { alpha: 0.001 });
-        let freq = SkewDetector::new(SkewTest::Frequency { m: 1.5, alpha: 0.001 });
+        let freq = SkewDetector::new(SkewTest::Frequency {
+            m: 1.5,
+            alpha: 0.001,
+        });
         assert!(ad.p_value(&counts) <= 0.001);
         assert!(freq.p_value(&counts) > 0.5);
     }

@@ -2,18 +2,115 @@
 //!
 //! The paper's prototype stores feature vectors in Parquet files, one row per
 //! `(fid, vid, start, end, vector)`. This store keeps the same logical layout
-//! in memory — a map from `(extractor, video)` to the ordered list of window
-//! vectors — which is what the ALM scans when assembling candidate sets for
-//! active learning and what `VE-full` grows in the background.
+//! in memory, but physically each `(extractor, video)` entry is one
+//! contiguous row-major [`FeatureBlock`] plus the per-window time ranges —
+//! the in-memory analogue of a columnar Parquet row group. The ALM's
+//! candidate assembly and the Model Manager's batch inference read rows as
+//! zero-copy `&[f32]` views straight out of the block instead of cloning
+//! `Vec<f32>`s out of a pointer-chasing `Vec<FeatureVector>`.
 
 use std::collections::HashMap;
 use ve_features::{ExtractorId, FeatureVector};
-use ve_vidsim::VideoId;
+use ve_ml::{FeatureBlock, FeatureBlockBuilder};
+use ve_vidsim::{TimeRange, VideoId};
+
+/// All feature windows of one video under one extractor, stored contiguously.
+#[derive(Debug, Clone)]
+pub struct VideoFeatures {
+    /// Which extractor produced the vectors.
+    pub extractor: ExtractorId,
+    /// Source video.
+    pub vid: VideoId,
+    ranges: Vec<TimeRange>,
+    block: FeatureBlock,
+}
+
+impl VideoFeatures {
+    /// Builds the contiguous representation from per-window vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have inconsistent dimensionalities.
+    pub fn from_vectors(extractor: ExtractorId, vid: VideoId, vectors: &[FeatureVector]) -> Self {
+        let mut builder = FeatureBlockBuilder::new();
+        let mut ranges = Vec::with_capacity(vectors.len());
+        for v in vectors {
+            builder.push_row(&v.data);
+            ranges.push(v.range);
+        }
+        Self {
+            extractor,
+            vid,
+            ranges,
+            block: builder.build(),
+        }
+    }
+
+    /// Number of stored windows.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the video has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Time range of window `i`.
+    pub fn range(&self, i: usize) -> &TimeRange {
+        &self.ranges[i]
+    }
+
+    /// All window ranges, in storage order.
+    pub fn ranges(&self) -> &[TimeRange] {
+        &self.ranges
+    }
+
+    /// Zero-copy view of window `i`'s embedding.
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.block.row(i)
+    }
+
+    /// The contiguous block of all windows.
+    pub fn block(&self) -> &FeatureBlock {
+        &self.block
+    }
+
+    /// Index of the first window overlapping `range`, falling back to the
+    /// last window (mirroring the Feature Manager's window-snap behaviour);
+    /// `None` only when the video has no windows at all.
+    pub fn window_for(&self, range: &TimeRange) -> Option<usize> {
+        if self.ranges.is_empty() {
+            return None;
+        }
+        self.ranges
+            .iter()
+            .position(|r| r.overlaps(range))
+            .or(Some(self.ranges.len() - 1))
+    }
+
+    /// Reconstructs the legacy owned representation (used by snapshot
+    /// encoding and tests).
+    pub fn to_vectors(&self) -> Vec<FeatureVector> {
+        (0..self.len())
+            .map(|i| FeatureVector {
+                extractor: self.extractor,
+                vid: self.vid,
+                range: self.ranges[i],
+                data: self.row(i).to_vec(),
+            })
+            .collect()
+    }
+
+    /// Bytes of embedding payload held by this entry.
+    pub fn payload_bytes(&self) -> usize {
+        std::mem::size_of_val(self.block.as_slice())
+    }
+}
 
 /// In-memory feature-vector store.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureStore {
-    by_key: HashMap<(ExtractorId, VideoId), Vec<FeatureVector>>,
+    by_key: HashMap<(ExtractorId, VideoId), VideoFeatures>,
 }
 
 impl FeatureStore {
@@ -22,14 +119,25 @@ impl FeatureStore {
         Self::default()
     }
 
-    /// Stores (replacing) the vectors of one video for one extractor.
+    /// Stores (replacing) the vectors of one video for one extractor,
+    /// converting to the contiguous block representation.
     pub fn put(&mut self, extractor: ExtractorId, vid: VideoId, vectors: Vec<FeatureVector>) {
-        self.by_key.insert((extractor, vid), vectors);
+        self.by_key.insert(
+            (extractor, vid),
+            VideoFeatures::from_vectors(extractor, vid, &vectors),
+        );
     }
 
-    /// Returns the vectors of one video for one extractor, if extracted.
-    pub fn get(&self, extractor: ExtractorId, vid: VideoId) -> Option<&[FeatureVector]> {
-        self.by_key.get(&(extractor, vid)).map(|v| v.as_slice())
+    /// Stores an already-built contiguous entry.
+    pub fn put_block(&mut self, features: VideoFeatures) {
+        self.by_key
+            .insert((features.extractor, features.vid), features);
+    }
+
+    /// Returns the contiguous windows of one video for one extractor, if
+    /// extracted.
+    pub fn get(&self, extractor: ExtractorId, vid: VideoId) -> Option<&VideoFeatures> {
+        self.by_key.get(&(extractor, vid))
     }
 
     /// Whether features for `(extractor, vid)` are available.
@@ -67,15 +175,11 @@ impl FeatureStore {
     /// Approximate resident bytes of the stored vectors (data payloads only),
     /// which the eager-extraction guardrail can use to cap background work.
     pub fn approx_bytes(&self) -> usize {
-        self.by_key
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|f| f.data.len() * std::mem::size_of::<f32>())
-            .sum()
+        self.by_key.values().map(|v| v.payload_bytes()).sum()
     }
 
     /// Iterates over all `(extractor, vid)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&(ExtractorId, VideoId), &Vec<FeatureVector>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(ExtractorId, VideoId), &VideoFeatures)> {
         self.by_key.iter()
     }
 
@@ -106,7 +210,11 @@ mod tests {
     #[test]
     fn put_get_and_contains() {
         let mut s = FeatureStore::new();
-        s.put(ExtractorId::R3d, VideoId(1), vec![fv(ExtractorId::R3d, 1, 0.0, 4)]);
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![fv(ExtractorId::R3d, 1, 0.0, 4)],
+        );
         assert!(s.contains(ExtractorId::R3d, VideoId(1)));
         assert!(!s.contains(ExtractorId::Mvit, VideoId(1)));
         assert_eq!(s.get(ExtractorId::R3d, VideoId(1)).unwrap().len(), 1);
@@ -114,12 +222,69 @@ mod tests {
     }
 
     #[test]
+    fn entries_are_contiguous_blocks_with_zero_copy_rows() {
+        let mut s = FeatureStore::new();
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![
+                fv(ExtractorId::R3d, 1, 0.0, 3),
+                fv(ExtractorId::R3d, 1, 1.0, 3),
+            ],
+        );
+        let entry = s.get(ExtractorId::R3d, VideoId(1)).unwrap();
+        assert_eq!(entry.block().rows(), 2);
+        assert_eq!(entry.block().dim(), 3);
+        // Rows are views into one flat buffer.
+        assert_eq!(entry.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(entry.row(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(entry.block().as_slice(), &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(*entry.range(1), TimeRange::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn window_lookup_prefers_overlap_then_falls_back_to_last() {
+        let mut s = FeatureStore::new();
+        s.put(
+            ExtractorId::Clip,
+            VideoId(3),
+            vec![
+                fv(ExtractorId::Clip, 3, 0.0, 2),
+                fv(ExtractorId::Clip, 3, 1.0, 2),
+                fv(ExtractorId::Clip, 3, 2.0, 2),
+            ],
+        );
+        let entry = s.get(ExtractorId::Clip, VideoId(3)).unwrap();
+        assert_eq!(entry.window_for(&TimeRange::new(1.2, 1.8)), Some(1));
+        // Beyond the last window: snap to the last.
+        assert_eq!(entry.window_for(&TimeRange::new(50.0, 51.0)), Some(2));
+    }
+
+    #[test]
+    fn round_trips_to_legacy_vectors() {
+        let vectors = vec![
+            fv(ExtractorId::Mvit, 7, 0.0, 5),
+            fv(ExtractorId::Mvit, 7, 1.0, 5),
+        ];
+        let entry = VideoFeatures::from_vectors(ExtractorId::Mvit, VideoId(7), &vectors);
+        assert_eq!(entry.to_vectors(), vectors);
+    }
+
+    #[test]
     fn videos_with_features_is_sorted_per_extractor() {
         let mut s = FeatureStore::new();
         for vid in [5u64, 1, 3] {
-            s.put(ExtractorId::Clip, VideoId(vid), vec![fv(ExtractorId::Clip, vid, 0.0, 4)]);
+            s.put(
+                ExtractorId::Clip,
+                VideoId(vid),
+                vec![fv(ExtractorId::Clip, vid, 0.0, 4)],
+            );
         }
-        s.put(ExtractorId::R3d, VideoId(9), vec![fv(ExtractorId::R3d, 9, 0.0, 4)]);
+        s.put(
+            ExtractorId::R3d,
+            VideoId(9),
+            vec![fv(ExtractorId::R3d, 9, 0.0, 4)],
+        );
         assert_eq!(
             s.videos_with_features(ExtractorId::Clip),
             vec![VideoId(1), VideoId(3), VideoId(5)]
@@ -133,9 +298,16 @@ mod tests {
         s.put(
             ExtractorId::R3d,
             VideoId(1),
-            vec![fv(ExtractorId::R3d, 1, 0.0, 8), fv(ExtractorId::R3d, 1, 1.0, 8)],
+            vec![
+                fv(ExtractorId::R3d, 1, 0.0, 8),
+                fv(ExtractorId::R3d, 1, 1.0, 8),
+            ],
         );
-        s.put(ExtractorId::Mvit, VideoId(1), vec![fv(ExtractorId::Mvit, 1, 0.0, 8)]);
+        s.put(
+            ExtractorId::Mvit,
+            VideoId(1),
+            vec![fv(ExtractorId::Mvit, 1, 0.0, 8)],
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s.total_vectors(), 3);
         assert_eq!(s.approx_bytes(), 3 * 8 * 4);
@@ -147,11 +319,18 @@ mod tests {
     #[test]
     fn put_replaces_existing_entry() {
         let mut s = FeatureStore::new();
-        s.put(ExtractorId::R3d, VideoId(1), vec![fv(ExtractorId::R3d, 1, 0.0, 4)]);
         s.put(
             ExtractorId::R3d,
             VideoId(1),
-            vec![fv(ExtractorId::R3d, 1, 0.0, 4), fv(ExtractorId::R3d, 1, 1.0, 4)],
+            vec![fv(ExtractorId::R3d, 1, 0.0, 4)],
+        );
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![
+                fv(ExtractorId::R3d, 1, 0.0, 4),
+                fv(ExtractorId::R3d, 1, 1.0, 4),
+            ],
         );
         assert_eq!(s.get(ExtractorId::R3d, VideoId(1)).unwrap().len(), 2);
         assert_eq!(s.len(), 1);
@@ -162,6 +341,9 @@ mod tests {
         let s = FeatureStore::new();
         assert!(s.is_empty());
         assert_eq!(s.total_vectors(), 0);
-        assert_eq!(s.videos_with_features(ExtractorId::R3d), Vec::<VideoId>::new());
+        assert_eq!(
+            s.videos_with_features(ExtractorId::R3d),
+            Vec::<VideoId>::new()
+        );
     }
 }

@@ -67,9 +67,7 @@ impl LabelStore {
 
     /// Whether the given video has any label overlapping `range`.
     pub fn is_labeled(&self, vid: VideoId, range: &TimeRange) -> bool {
-        self.for_video(vid)
-            .iter()
-            .any(|r| r.range.overlaps(range))
+        self.for_video(vid).iter().any(|r| r.range.overlaps(range))
     }
 
     /// Set of videos with at least one label.

@@ -33,7 +33,7 @@ pub mod persist;
 pub mod wal;
 
 pub use error::StorageError;
-pub use feature_store::FeatureStore;
+pub use feature_store::{FeatureStore, VideoFeatures};
 pub use labels::{LabelRecord, LabelStore};
 pub use metadata::{VideoMetadataStore, VideoRecord};
 pub use model_registry::{ModelRecord, ModelRegistry};
@@ -167,8 +167,9 @@ mod tests {
             restored.with_features(|f| f.get(ExtractorId::R3d, VideoId(1)).unwrap().len()),
             1
         );
-        let v = restored.with_features(|f| f.get(ExtractorId::R3d, VideoId(1)).unwrap()[0].clone());
-        assert_eq!(v.data, vec![0.5, -0.25, 1.0]);
+        let v = restored
+            .with_features(|f| f.get(ExtractorId::R3d, VideoId(1)).unwrap().row(0).to_vec());
+        assert_eq!(v, vec![0.5, -0.25, 1.0]);
     }
 
     #[test]
@@ -187,7 +188,10 @@ mod tests {
         });
         sm.save_to_file(&path).unwrap();
         let loaded = StorageManager::load_from_file(&path).unwrap();
-        assert_eq!(loaded.with_metadata(|m| m.get(VideoId(7)).unwrap().path.clone()), "x.mp4");
+        assert_eq!(
+            loaded.with_metadata(|m| m.get(VideoId(7)).unwrap().path.clone()),
+            "x.mp4"
+        );
         std::fs::remove_file(&path).ok();
     }
 

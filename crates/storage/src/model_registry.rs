@@ -157,7 +157,13 @@ mod tests {
     #[test]
     fn retire_removes_latest_but_keeps_history() {
         let mut r: ModelRegistry<DummyModel> = ModelRegistry::new();
-        r.publish(ExtractorId::Random, 5, 1, Some(0.1), Arc::new(DummyModel(1)));
+        r.publish(
+            ExtractorId::Random,
+            5,
+            1,
+            Some(0.1),
+            Arc::new(DummyModel(1)),
+        );
         assert!(r.retire(ExtractorId::Random));
         assert!(!r.retire(ExtractorId::Random));
         assert!(!r.has_model(ExtractorId::Random));

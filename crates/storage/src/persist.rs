@@ -56,14 +56,15 @@ pub fn encode_snapshot(
     // Features.
     let entries: Vec<_> = features.iter().collect();
     w.put_u32(entries.len() as u32);
-    for ((extractor, vid), vectors) in entries {
+    for ((extractor, vid), entry) in entries {
         w.put_u8(extractor.index() as u8);
         w.put_u64(vid.0);
-        w.put_u32(vectors.len() as u32);
-        for fv in vectors {
-            w.put_f64(fv.range.start);
-            w.put_f64(fv.range.end);
-            w.put_f32_slice(&fv.data);
+        w.put_u32(entry.len() as u32);
+        for i in 0..entry.len() {
+            let range = entry.range(i);
+            w.put_f64(range.start);
+            w.put_f64(range.end);
+            w.put_f32_slice(entry.row(i));
         }
     }
     w.into_bytes()
@@ -210,7 +211,10 @@ mod tests {
         assert_eq!(l2.len(), 2);
         assert_eq!(l2.records()[0].classes, vec![1, 3]);
         assert_eq!(l2.records()[1].classes, Vec::<usize>::new());
-        assert_eq!(f2.get(ExtractorId::Mvit, VideoId(0)).unwrap()[0].data, vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            f2.get(ExtractorId::Mvit, VideoId(0)).unwrap().row(0),
+            &[1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

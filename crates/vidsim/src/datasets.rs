@@ -220,13 +220,11 @@ impl DatasetSpec {
             }
             // Verb frequencies follow a moderate power law; presence
             // probabilities (multi-label) rather than a distribution.
-            DatasetName::Charades => (0..33)
-                .map(|r| 0.45 / (r as f64 + 1.0).powf(0.8))
-                .collect(),
+            DatasetName::Charades => (0..33).map(|r| 0.45 / (r as f64 + 1.0).powf(0.8)).collect(),
             DatasetName::Bears => vec![0.5, 0.5],
             // Cars are near-ubiquitous in driving footage; motorcycles rare.
             DatasetName::Bdd => vec![0.90, 0.35, 0.30, 0.12, 0.08, 0.04],
-            }
+        }
     }
 
     /// Evaluation-set class weights. For K20 (skew) the paper evaluates on
@@ -408,23 +406,42 @@ mod tests {
     #[test]
     fn paper_specs_match_table2() {
         let deer = DatasetSpec::paper(DatasetName::Deer);
-        assert_eq!((deer.num_classes, deer.train_videos, deer.eval_videos), (9, 896, 225));
+        assert_eq!(
+            (deer.num_classes, deer.train_videos, deer.eval_videos),
+            (9, 896, 225)
+        );
         assert!(deer.skewed);
         let k20 = DatasetSpec::paper(DatasetName::K20);
-        assert_eq!((k20.num_classes, k20.train_videos, k20.eval_videos), (20, 13_326, 976));
+        assert_eq!(
+            (k20.num_classes, k20.train_videos, k20.eval_videos),
+            (20, 13_326, 976)
+        );
         assert!(!k20.skewed);
         let k20s = DatasetSpec::paper(DatasetName::K20Skew);
-        assert_eq!((k20s.num_classes, k20s.train_videos, k20s.eval_videos), (20, 1_050, 976));
+        assert_eq!(
+            (k20s.num_classes, k20s.train_videos, k20s.eval_videos),
+            (20, 1_050, 976)
+        );
         let charades = DatasetSpec::paper(DatasetName::Charades);
         assert_eq!(
-            (charades.num_classes, charades.train_videos, charades.eval_videos),
+            (
+                charades.num_classes,
+                charades.train_videos,
+                charades.eval_videos
+            ),
             (33, 7_985, 1_863)
         );
         assert_eq!(charades.task, TaskKind::MultiLabel);
         let bears = DatasetSpec::paper(DatasetName::Bears);
-        assert_eq!((bears.num_classes, bears.train_videos, bears.eval_videos), (2, 2_410, 722));
+        assert_eq!(
+            (bears.num_classes, bears.train_videos, bears.eval_videos),
+            (2, 2_410, 722)
+        );
         let bdd = DatasetSpec::paper(DatasetName::Bdd);
-        assert_eq!((bdd.num_classes, bdd.train_videos, bdd.eval_videos), (6, 800, 200));
+        assert_eq!(
+            (bdd.num_classes, bdd.train_videos, bdd.eval_videos),
+            (6, 800, 200)
+        );
         assert_eq!(bdd.task, TaskKind::MultiLabel);
     }
 
@@ -441,8 +458,12 @@ mod tests {
 
     #[test]
     fn class_weights_are_valid_distributions_for_single_label() {
-        for name in [DatasetName::Deer, DatasetName::K20, DatasetName::K20Skew, DatasetName::Bears]
-        {
+        for name in [
+            DatasetName::Deer,
+            DatasetName::K20,
+            DatasetName::K20Skew,
+            DatasetName::Bears,
+        ] {
             let spec = DatasetSpec::paper(name);
             let w = spec.train_class_weights();
             assert_eq!(w.len(), spec.num_classes);

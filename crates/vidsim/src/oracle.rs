@@ -200,7 +200,10 @@ mod tests {
         let noisy = NoisyOracle::new(GroundTruthOracle::new(TaskKind::SingleLabel), 0.0, 9, 3);
         for v in ds.train.videos().iter().take(20) {
             let r = TimeRange::new(0.0, 1.0);
-            assert_eq!(noisy.label(&ds.train, v.id, &r), truth.label(&ds.train, v.id, &r));
+            assert_eq!(
+                noisy.label(&ds.train, v.id, &r),
+                truth.label(&ds.train, v.id, &r)
+            );
         }
     }
 

@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(r.duration(), 3.0);
         assert_eq!(r.midpoint(), 3.5);
         assert!(r.overlaps(&TimeRange::new(4.0, 6.0)));
-        assert!(!r.overlaps(&TimeRange::new(5.0, 6.0)), "touching is not overlap");
+        assert!(
+            !r.overlaps(&TimeRange::new(5.0, 6.0)),
+            "touching is not overlap"
+        );
         assert!(!r.overlaps(&TimeRange::new(0.0, 2.0)));
     }
 

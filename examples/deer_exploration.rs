@@ -45,10 +45,7 @@ fn run(label: &str, sampling: SamplingPolicy) -> SessionOutcome {
 fn main() {
     println!("Deer activity exploration (B = 5 segments per iteration, 40 iterations)\n");
 
-    let random = run(
-        "Random",
-        SamplingPolicy::Fixed(AcquisitionKind::Random),
-    );
+    let random = run("Random", SamplingPolicy::Fixed(AcquisitionKind::Random));
     let cluster_margin = run(
         "Cluster-Margin",
         SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin),

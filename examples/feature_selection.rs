@@ -55,7 +55,10 @@ fn main() {
             outcome.final_extractor
         ),
     }
-    println!("Final macro F1 with the selected feature: {:.3}", outcome.final_f1());
+    println!(
+        "Final macro F1 with the selected feature: {:.3}",
+        outcome.final_f1()
+    );
 
     // For reference: what each fixed extractor would have achieved.
     println!("\nFixed-extractor baselines (same labeling budget):");

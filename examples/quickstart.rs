@@ -39,7 +39,9 @@ fn main() {
         let batch = system.explore(5, 1.0, None);
         println!(
             "iteration {iteration:2}: acquisition = {:?}, feature = {}, labels so far = {}",
-            batch.acquisition.expect("explore always reports its acquisition"),
+            batch
+                .acquisition
+                .expect("explore always reports its acquisition"),
             system.current_extractor(),
             system.label_count(),
         );
@@ -66,8 +68,17 @@ fn main() {
     for seg in &stream.segments {
         let label = seg
             .top_prediction()
-            .map(|p| format!("{} (p={:.2})", dataset.vocabulary.name(p.class), p.probability))
+            .map(|p| {
+                format!(
+                    "{} (p={:.2})",
+                    dataset.vocabulary.name(p.class),
+                    p.probability
+                )
+            })
             .unwrap_or_else(|| "<no prediction yet>".to_string());
-        println!("    [{:.0}s-{:.0}s] {label}", seg.range.start, seg.range.end);
+        println!(
+            "    [{:.0}s-{:.0}s] {label}",
+            seg.range.start, seg.range.end
+        );
     }
 }

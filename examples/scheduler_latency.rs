@@ -17,7 +17,10 @@ use vocalexplore::FeatureSelectionPolicy;
 
 fn main() {
     println!("Scheduling strategies on K20 (skew), 30 Explore iterations, B = 5, T_user = 10 s\n");
-    println!("{:<12} {:>10} {:>16} {:>14}", "strategy", "mean F1", "visible latency", "per iteration");
+    println!(
+        "{:<12} {:>10} {:>16} {:>14}",
+        "strategy", "mean F1", "visible latency", "per iteration"
+    );
     println!("{}", "-".repeat(56));
 
     for strategy in SchedulerStrategy::all() {

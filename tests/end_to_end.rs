@@ -25,7 +25,11 @@ fn explore_label_predict_loop_improves_over_iterations() {
     let mut first_batch_had_predictions = false;
     for iteration in 0..8 {
         let batch = system.explore(5, 1.0, None);
-        assert_eq!(batch.len(), 5, "iteration {iteration} returned a short batch");
+        assert_eq!(
+            batch.len(),
+            5,
+            "iteration {iteration} returned a short batch"
+        );
         if iteration == 0 {
             first_batch_had_predictions = batch.segments.iter().any(|s| !s.predictions.is_empty());
         }
@@ -47,11 +51,17 @@ fn explore_label_predict_loop_improves_over_iterations() {
         .iter()
         .filter(|s| !s.predictions.is_empty())
         .count();
-    assert!(with_preds > 0, "predictions must be attached after labeling");
+    assert!(
+        with_preds > 0,
+        "predictions must be attached after labeling"
+    );
     for seg in batch.segments.iter().filter(|s| !s.predictions.is_empty()) {
         assert_eq!(seg.predictions.len(), dataset.vocabulary.len());
         let total: f32 = seg.predictions.iter().map(|p| p.probability).sum();
-        assert!((total - 1.0).abs() < 1e-3, "single-label predictions must sum to 1");
+        assert!(
+            (total - 1.0).abs() < 1e-3,
+            "single-label predictions must sum to 1"
+        );
     }
 }
 
@@ -179,10 +189,7 @@ fn storage_snapshot_round_trips_session_state() {
     });
     let bytes = sm.snapshot();
     let restored = StorageManager::from_snapshot(&bytes).expect("valid snapshot");
-    assert_eq!(
-        restored.with_metadata(|m| m.len()),
-        dataset.train.len()
-    );
+    assert_eq!(restored.with_metadata(|m| m.len()), dataset.train.len());
     assert_eq!(restored.with_labels(|l| l.len()), 20);
     assert_eq!(
         restored.with_labels(|l| l.class_counts(2)),

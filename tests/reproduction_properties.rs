@@ -16,7 +16,9 @@ fn quick(dataset: DatasetName, seed: u64, iterations: usize) -> SessionConfig {
 }
 
 fn fixed_feature(mut cfg: SessionConfig, e: ExtractorId) -> SessionConfig {
-    cfg.system = cfg.system.with_feature_selection(FeatureSelectionPolicy::Fixed(e));
+    cfg.system = cfg
+        .system
+        .with_feature_selection(FeatureSelectionPolicy::Fixed(e));
     cfg
 }
 
@@ -29,9 +31,12 @@ fn fixed_sampling(mut cfg: SessionConfig, kind: AcquisitionKind) -> SessionConfi
 /// extractor on the same labeling budget.
 #[test]
 fn informative_feature_beats_random_feature() {
-    let good = SessionRunner::new(fixed_feature(quick(DatasetName::Deer, 5, 16), ExtractorId::R3d))
-        .run()
-        .final_f1();
+    let good = SessionRunner::new(fixed_feature(
+        quick(DatasetName::Deer, 5, 16),
+        ExtractorId::R3d,
+    ))
+    .run()
+    .final_f1();
     let bad = SessionRunner::new(fixed_feature(
         quick(DatasetName::Deer, 5, 16),
         ExtractorId::Random,
@@ -105,8 +110,7 @@ fn ve_full_is_cheaper_than_preprocessing_baseline_without_losing_f1() {
     let full_outcome = SessionRunner::new(full).run();
 
     assert!(
-        full_outcome.cumulative_visible_latency() * 2.0
-            < pp_outcome.cumulative_visible_latency(),
+        full_outcome.cumulative_visible_latency() * 2.0 < pp_outcome.cumulative_visible_latency(),
         "VE-full visible latency ({:.0}s) must be far below Coreset-PP ({:.0}s)",
         full_outcome.cumulative_visible_latency(),
         pp_outcome.cumulative_visible_latency()
@@ -122,9 +126,12 @@ fn ve_full_is_cheaper_than_preprocessing_baseline_without_losing_f1() {
 /// Figure 9 shape: 10% label noise barely degrades VOCALExplore's F1.
 #[test]
 fn moderate_label_noise_is_tolerated() {
-    let clean = SessionRunner::new(fixed_feature(quick(DatasetName::Deer, 13, 20), ExtractorId::R3d))
-        .run()
-        .final_f1();
+    let clean = SessionRunner::new(fixed_feature(
+        quick(DatasetName::Deer, 13, 20),
+        ExtractorId::R3d,
+    ))
+    .run()
+    .final_f1();
     let noisy = SessionRunner::new(
         fixed_feature(quick(DatasetName::Deer, 13, 20), ExtractorId::R3d).with_noise(0.10),
     )
