@@ -119,6 +119,18 @@ pub struct Condvar {
     inner: sync::Condvar,
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed rather than a
+    /// notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 impl Condvar {
     /// Creates a condition variable.
     pub const fn new() -> Self {
@@ -136,6 +148,22 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout` (spurious wakeups
+    /// possible; callers must re-check their predicate either way).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one waiting thread.
@@ -185,6 +213,38 @@ mod tests {
         let (lock, cvar) = &*pair;
         *lock.lock() = true;
         cvar.notify_one();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (lock, cvar) = &*pair;
+        let mut ready = lock.lock();
+        let res = cvar.wait_for(&mut ready, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*ready, "guard is reacquired and usable after the timeout");
+    }
+
+    #[test]
+    fn wait_for_returns_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            *lock.lock() = true;
+            cvar.notify_all();
+        });
+        let (lock, cvar) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            let res = cvar.wait_for(&mut ready, std::time::Duration::from_secs(5));
+            if res.timed_out() {
+                panic!("notification should arrive well before 5 s");
+            }
+        }
+        drop(ready);
         handle.join().unwrap();
     }
 

@@ -169,6 +169,42 @@ impl ActiveLearningManager {
         }
     }
 
+    /// The extractors the next feature-evaluation step would score: the
+    /// bandit's live arms, or nothing once it has converged (or the policy is
+    /// fixed). The async session engine uses this to spawn one `T_e` task per
+    /// candidate on the executor; the synchronous path scores them inline.
+    pub fn evaluation_candidates(&self) -> Vec<ExtractorId> {
+        match &self.features {
+            FeatureState::Fixed(_) => Vec::new(),
+            FeatureState::Bandit { bandit, .. } => {
+                if bandit.is_converged() {
+                    Vec::new()
+                } else {
+                    bandit.active_arms()
+                }
+            }
+        }
+    }
+
+    /// Feeds one round of CV scores (produced by
+    /// [`ModelManager::evaluate_cv`], possibly on executor worker threads)
+    /// into the rising bandit. Empty score sets are ignored, matching the
+    /// synchronous path.
+    pub fn observe_feature_scores(&mut self, scores: &[(ExtractorId, f64)]) {
+        let FeatureState::Bandit {
+            bandit,
+            last_scores,
+        } = &mut self.features
+        else {
+            return;
+        };
+        if scores.is_empty() || bandit.is_converged() {
+            return;
+        }
+        bandit.observe(scores);
+        *last_scores = scores.to_vec();
+    }
+
     /// Runs one feature-evaluation step: computes the CV score of every
     /// extractor still alive and feeds the rising bandit. Returns the scores
     /// that were evaluated (one `T_e` task each).
@@ -179,26 +215,15 @@ impl ActiveLearningManager {
         mm: &ModelManager,
         labels: &[LabelRecord],
     ) -> Vec<(ExtractorId, f64)> {
-        let FeatureState::Bandit {
-            bandit,
-            last_scores,
-        } = &mut self.features
-        else {
-            return Vec::new();
-        };
-        if bandit.is_converged() {
-            return Vec::new();
-        }
-        let mut scores = Vec::new();
-        for extractor in bandit.active_arms() {
-            if let Some(score) = mm.evaluate_cv(extractor, corpus, fm, labels) {
-                scores.push((extractor, score));
-            }
-        }
-        if !scores.is_empty() {
-            bandit.observe(&scores);
-            *last_scores = scores.clone();
-        }
+        let scores: Vec<(ExtractorId, f64)> = self
+            .evaluation_candidates()
+            .into_iter()
+            .filter_map(|extractor| {
+                mm.evaluate_cv(extractor, corpus, fm, labels)
+                    .map(|score| (extractor, score))
+            })
+            .collect();
+        self.observe_feature_scores(&scores);
         scores
     }
 

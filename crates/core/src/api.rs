@@ -39,6 +39,9 @@ pub struct ExploreBatch {
     pub segments: Vec<SegmentRef>,
     /// Which acquisition function produced the batch (for diagnostics).
     pub acquisition: Option<ve_al::AcquisitionKind>,
+    /// Selection statistics of the call (`None` for `Watch`), used by the
+    /// latency accounting to count the extraction work the call had to do.
+    pub stats: Option<crate::alm::SelectionStats>,
 }
 
 impl ExploreBatch {

@@ -141,6 +141,20 @@ pub struct VocalExploreConfig {
     /// when a [`crate::VocalExplore`] is constructed, so the most recently
     /// constructed system's setting governs all systems in the process.
     pub compute_threads: usize,
+    /// Worker threads of the `ve_sched::Executor` the async session engine
+    /// submits training / evaluation / eager-extraction tasks to. The paper's
+    /// evaluation runs two extraction tasks concurrently on the GPU, hence
+    /// the default of 2. Unlike `compute_threads` this knob changes *when*
+    /// tasks complete (and therefore measured latency), never *what* they
+    /// compute.
+    pub executor_workers: usize,
+    /// Real seconds per simulated second for the async session engine's
+    /// measured-latency mode: modeled task costs (GPU extraction, training,
+    /// user think time, ...) are slept for `cost * time_scale` wall-clock
+    /// seconds on the thread executing the task, so wall-clock measurements
+    /// divided by `time_scale` are comparable to the paper's latency axes.
+    /// The synchronous facade ignores this knob entirely.
+    pub time_scale: f64,
 }
 
 impl VocalExploreConfig {
@@ -163,6 +177,8 @@ impl VocalExploreConfig {
             t_user: 10.0,
             seed,
             compute_threads: 0,
+            executor_workers: 2,
+            time_scale: 2e-3,
         }
     }
 
@@ -213,6 +229,30 @@ impl VocalExploreConfig {
         self.compute_threads = threads;
         self
     }
+
+    /// Overrides the executor worker count used by the async session engine.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` (the executor needs at least one thread).
+    pub fn with_executor_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one executor worker");
+        self.executor_workers = workers;
+        self
+    }
+
+    /// Overrides the simulated-to-real time scale of the async session
+    /// engine's measured-latency mode.
+    ///
+    /// # Panics
+    /// Panics if the scale is not positive and finite.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "time scale must be positive and finite"
+        );
+        self.time_scale = scale;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +294,26 @@ mod tests {
         assert_eq!(cfg.num_classes, 6);
         assert_eq!(cfg.task, TaskKind::MultiLabel);
         assert_eq!(cfg.dataset, DatasetName::Bdd);
+    }
+
+    #[test]
+    fn async_engine_knobs_default_and_override() {
+        let cfg = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0);
+        assert_eq!(
+            cfg.executor_workers, 2,
+            "paper runs two concurrent GPU tasks"
+        );
+        assert!(cfg.time_scale > 0.0);
+        let cfg = cfg.with_executor_workers(4).with_time_scale(1e-4);
+        assert_eq!(cfg.executor_workers, 4);
+        assert_eq!(cfg.time_scale, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor worker")]
+    fn rejects_zero_executor_workers() {
+        let _ = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0)
+            .with_executor_workers(0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! accounting uses.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use ve_features::{ExtractorId, FeatureSimulator, FeatureVector};
 use ve_storage::StorageManager;
 use ve_vidsim::{TimeRange, VideoClip, VideoCorpus, VideoId};
@@ -18,6 +19,11 @@ pub struct FeatureManager {
     simulator: FeatureSimulator,
     storage: StorageManager,
     gpu_seconds: Mutex<f64>,
+    /// When non-zero (stored as `f64` bits), every cache-missing extraction
+    /// sleeps `cost * scale` wall-clock seconds on the calling thread, so
+    /// the async session engine can *measure* the Table-3 GPU costs instead
+    /// of modeling them. Zero (the default) disables the sleep entirely.
+    latency_scale_bits: AtomicU64,
 }
 
 impl FeatureManager {
@@ -27,12 +33,30 @@ impl FeatureManager {
             simulator,
             storage,
             gpu_seconds: Mutex::new(0.0),
+            latency_scale_bits: AtomicU64::new(0),
         }
     }
 
     /// The simulator in use (exposes extractor specs and profiles).
     pub fn simulator(&self) -> &FeatureSimulator {
         &self.simulator
+    }
+
+    /// Enables (scale > 0) or disables (`None` / 0) wall-clock simulation of
+    /// GPU extraction latency: each cache-missing extraction sleeps
+    /// `extraction_cost * scale` real seconds on the thread performing it.
+    /// The sleep lands wherever the extraction actually runs — on a
+    /// background executor worker for eager `T_f⁻` tasks (hidden from the
+    /// user), or on the API calling thread for lazy extraction (visible).
+    pub fn set_latency_scale(&self, scale: Option<f64>) {
+        let bits = scale.filter(|s| *s > 0.0).unwrap_or(0.0).to_bits();
+        self.latency_scale_bits.store(bits, Ordering::Relaxed);
+    }
+
+    /// The configured wall-clock latency scale, if enabled.
+    pub fn latency_scale(&self) -> Option<f64> {
+        let scale = f64::from_bits(self.latency_scale_bits.load(Ordering::Relaxed));
+        (scale > 0.0).then_some(scale)
     }
 
     /// Total simulated GPU seconds spent on extraction so far.
@@ -53,14 +77,34 @@ impl FeatureManager {
 
     /// Ensures features for one whole clip are extracted (no-op if cached).
     /// Returns the GPU seconds this call actually spent (0 on a cache hit).
+    ///
+    /// Safe to call concurrently for the same `(extractor, clip)`: the
+    /// simulator is deterministic, so racing extractions produce identical
+    /// vectors, and only the thread that actually publishes the entry is
+    /// charged for the GPU time.
     pub fn ensure_clip(&self, extractor: ExtractorId, clip: &VideoClip) -> f64 {
         if self.has_features(extractor, clip.id) {
             return 0.0;
         }
         let vectors = self.simulator.extract_clip(extractor, clip);
         let cost = self.simulator.extraction_seconds(extractor, clip);
-        self.storage
-            .with_features_mut(|f| f.put(extractor, clip.id, vectors));
+        if let Some(scale) = self.latency_scale() {
+            // The simulated GPU is busy for `cost` seconds before the
+            // features become available; scaled down to wall-clock so the
+            // async engine can measure it.
+            std::thread::sleep(std::time::Duration::from_secs_f64(cost * scale));
+        }
+        let inserted = self.storage.with_features_mut(|f| {
+            if f.contains(extractor, clip.id) {
+                false
+            } else {
+                f.put(extractor, clip.id, vectors);
+                true
+            }
+        });
+        if !inserted {
+            return 0.0;
+        }
         *self.gpu_seconds.lock() += cost;
         cost
     }
@@ -196,6 +240,48 @@ mod tests {
         let vectors = fm.clip_features(ExtractorId::Clip, &ds.train, clip.id);
         assert_eq!(vectors.len(), clip.segments.len());
         assert_eq!(fm.videos_with_features(ExtractorId::Clip), vec![clip.id]);
+    }
+
+    #[test]
+    fn concurrent_extraction_of_one_clip_is_charged_once() {
+        let (ds, fm) = setup();
+        let fm = std::sync::Arc::new(fm);
+        let clip = ds.train.videos()[0].clone();
+        let expected = fm.extraction_cost(ExtractorId::R3d, &clip);
+        let total: f64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let fm = std::sync::Arc::clone(&fm);
+                    let clip = clip.clone();
+                    scope.spawn(move || fm.ensure_clip(ExtractorId::R3d, &clip))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert!(
+            (total - expected).abs() < 1e-12,
+            "exactly one racer may be charged: total {total}, per-clip {expected}"
+        );
+        assert!((fm.gpu_seconds_spent() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_scale_round_trip_and_sleep() {
+        let (ds, fm) = setup();
+        assert_eq!(fm.latency_scale(), None);
+        fm.set_latency_scale(Some(1e-3));
+        assert_eq!(fm.latency_scale(), Some(1e-3));
+        let clip = &ds.train.videos()[0];
+        let cost = fm.extraction_cost(ExtractorId::R3d, clip);
+        let start = std::time::Instant::now();
+        fm.ensure_clip(ExtractorId::R3d, clip);
+        assert!(start.elapsed().as_secs_f64() >= cost * 1e-3 * 0.5);
+        // Cache hits never sleep.
+        let start = std::time::Instant::now();
+        fm.ensure_clip(ExtractorId::R3d, clip);
+        assert!(start.elapsed().as_secs_f64() < 0.05);
+        fm.set_latency_scale(None);
+        assert_eq!(fm.latency_scale(), None);
     }
 
     #[test]

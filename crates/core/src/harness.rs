@@ -10,6 +10,7 @@
 //! adds the latency accounting of Section 4 (Serial / `VE-partial` /
 //! `VE-full`), and records one [`IterationRecord`] per step.
 
+use crate::alm::SelectionStats;
 use crate::config::{PreprocessPolicy, VocalExploreConfig};
 use crate::model_manager::FittedModel;
 use crate::system::VocalExplore;
@@ -18,11 +19,108 @@ use std::sync::Arc;
 use ve_al::AcquisitionKind;
 use ve_features::ExtractorId;
 use ve_ml::Classifier;
-use ve_sched::{iteration_latency, IterationCosts, SchedulerStrategy};
+use ve_sched::{iteration_latency, IterationCosts, IterationLatency, SchedulerStrategy};
 use ve_stats::s_max;
+use ve_storage::LabelRecord;
 use ve_vidsim::{
     Dataset, DatasetName, GroundTruthOracle, NoisyOracle, Oracle, TaskKind, TimeRange, VideoId,
 };
+
+/// The extra candidate videos (`X`) an `Explore` call extracted beyond the
+/// batch itself: everything the selection expanded the pool by, minus the
+/// batch videos that were themselves uncovered. Shared by the synchronous
+/// harness and the async session engine so both account extraction work
+/// identically (and deterministically — no float deltas involved).
+pub fn extra_candidate_count(stats: &SelectionStats, videos_needing_extraction: usize) -> usize {
+    stats
+        .videos_extracted_for_call
+        .saturating_sub(videos_needing_extraction)
+}
+
+/// Builds the analytic per-iteration cost vector (Section 4's `T_*` terms)
+/// from what an `Explore` call actually did. Shared by [`SessionRunner`] and
+/// the async engine's modeled-vs-measured comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn observed_iteration_costs(
+    cfg: &VocalExploreConfig,
+    batch_size: usize,
+    per_video_extract: f64,
+    videos_needing_extraction: usize,
+    extra_candidates: usize,
+    labels_total: usize,
+    features_under_evaluation: usize,
+) -> IterationCosts {
+    IterationCosts {
+        batch_size,
+        t_select: cfg.costs.select_secs,
+        t_extract: per_video_extract,
+        videos_needing_extraction,
+        extra_candidates,
+        t_infer: cfg.costs.infer_secs,
+        t_train: cfg.costs.train_secs(labels_total),
+        t_eval: cfg.costs.eval_secs,
+        features_under_evaluation,
+        t_user: cfg.t_user,
+    }
+}
+
+/// Gathers the analytic cost vector for one *completed* `Explore` call: the
+/// extraction it performed (batch videos missing from the pool snapshot plus
+/// the selection's extra candidates), the per-video extraction estimate for
+/// the now-current extractor, and the number of features still under
+/// evaluation. `pool_before` must be the snapshot the synchronous path takes
+/// at `Explore` time — before the call's deferred CV/training work extracts
+/// anything. Shared by [`SessionRunner`] and the async engine so the two
+/// paths can never drift in how they account an iteration.
+pub fn iteration_costs_for_call(
+    system: &VocalExplore,
+    dataset: &Dataset,
+    batch_size: usize,
+    pool_before: &std::collections::HashSet<VideoId>,
+    batch_videos: &std::collections::HashSet<VideoId>,
+    stats: &SelectionStats,
+) -> IterationCosts {
+    let current = system.current_extractor();
+    let per_video_extract = dataset
+        .train
+        .videos()
+        .first()
+        .map(|clip| system.feature_manager().extraction_cost(current, clip))
+        .unwrap_or(0.25);
+    let videos_needing_extraction = batch_videos
+        .iter()
+        .filter(|vid| !pool_before.contains(vid))
+        .count();
+    observed_iteration_costs(
+        system.config(),
+        batch_size,
+        per_video_extract,
+        videos_needing_extraction,
+        extra_candidate_count(stats, videos_needing_extraction),
+        system.label_count(),
+        if system.alm().selected_extractor().is_some() {
+            0
+        } else {
+            system.alm().active_extractors().len()
+        },
+    )
+}
+
+/// Number of videos the `VE-full` labeling window can cover with eager
+/// `T_f⁻` extraction: the window time left after the queued background work,
+/// divided by the per-video cost across all surviving candidate features,
+/// capped at the prototype's 50-video guardrail. Shared by the synchronous
+/// harness and the async engine so both grow the covered set identically.
+pub fn eager_video_budget(
+    latency: &IterationLatency,
+    per_video_extract: f64,
+    candidate_features: usize,
+) -> usize {
+    let budget_secs = (latency.labeling_secs - latency.background_secs).max(0.0);
+    let per_video_all = per_video_extract * candidate_features.max(1) as f64;
+    let videos = (budget_secs / per_video_all.max(1e-9)).floor() as usize;
+    videos.min(50)
+}
 
 /// Configuration of one labeling session.
 #[derive(Debug, Clone)]
@@ -132,6 +230,10 @@ pub struct SessionOutcome {
     pub feature_selected_at: Option<usize>,
     /// The extractor finally used for predictions.
     pub final_extractor: ExtractorId,
+    /// Every label the session collected, in the order the user produced
+    /// them (the determinism tests compare this sequence between the
+    /// synchronous and async execution paths).
+    pub labels: Vec<LabelRecord>,
 }
 
 impl SessionOutcome {
@@ -247,9 +349,13 @@ impl SessionRunner {
                 .videos_with_features(extractor_before)
                 .into_iter()
                 .collect();
-            let gpu_before = system.feature_manager().gpu_seconds_spent();
             let batch = system.explore(cfg.batch_size, cfg.clip_len, None);
             let acquisition = batch.acquisition.unwrap_or(AcquisitionKind::Random);
+            let stats = batch.stats.unwrap_or(SelectionStats {
+                acquisition,
+                videos_extracted_for_call: 0,
+                extraction_secs: 0.0,
+            });
 
             // --- The oracle labels every returned segment.
             for seg in &batch.segments {
@@ -262,38 +368,14 @@ impl SessionRunner {
             let active = system.alm().active_extractors();
             let batch_videos: std::collections::HashSet<VideoId> =
                 batch.segments.iter().map(|s| s.vid).collect();
-            let videos_needing_extraction = batch_videos
-                .iter()
-                .filter(|vid| !pool_before.contains(vid))
-                .count();
-            let gpu_spent_this_iter = system.feature_manager().gpu_seconds_spent() - gpu_before;
-            let per_video_extract = self.per_video_extraction_cost(&system, current_extractor);
-            let extra_candidates = if acquisition == AcquisitionKind::Random {
-                0
-            } else {
-                // Extraction performed for the candidate pool beyond the
-                // batch itself (the `X` extra videos of the lazy strategies).
-                let extra_secs = (gpu_spent_this_iter
-                    - videos_needing_extraction as f64 * per_video_extract)
-                    .max(0.0);
-                (extra_secs / per_video_extract.max(1e-9)).round() as usize
-            };
-            let costs = IterationCosts {
-                batch_size: cfg.batch_size,
-                t_select: cfg.system.costs.select_secs,
-                t_extract: per_video_extract,
-                videos_needing_extraction,
-                extra_candidates,
-                t_infer: cfg.system.costs.infer_secs,
-                t_train: cfg.system.costs.train_secs(system.label_count()),
-                t_eval: cfg.system.costs.eval_secs,
-                features_under_evaluation: if system.alm().selected_extractor().is_some() {
-                    0
-                } else {
-                    active.len()
-                },
-                t_user: cfg.system.t_user,
-            };
+            let costs = iteration_costs_for_call(
+                &system,
+                &self.dataset,
+                cfg.batch_size,
+                &pool_before,
+                &batch_videos,
+                &stats,
+            );
             let latency = iteration_latency(cfg.system.strategy, &costs);
             cumulative_visible += latency.visible_secs;
 
@@ -303,11 +385,8 @@ impl SessionRunner {
                 cfg.system.strategy,
                 SchedulerStrategy::VeFull | SchedulerStrategy::VeFullSpeculative
             ) {
-                let candidates = active.len().max(1);
-                let budget_secs = (latency.labeling_secs - latency.background_secs).max(0.0);
-                let per_video_all = per_video_extract * candidates as f64;
-                let videos = (budget_secs / per_video_all.max(1e-9)).floor() as usize;
-                system.eager_extract(videos.min(50));
+                let videos = eager_video_budget(&latency, costs.t_extract, active.len());
+                system.eager_extract(videos);
             }
 
             // --- Track bandit convergence.
@@ -342,6 +421,7 @@ impl SessionRunner {
             preprocessing_secs,
             feature_selected_at,
             final_extractor: system.current_extractor(),
+            labels: system.label_records(),
         }
     }
 
@@ -363,15 +443,6 @@ impl SessionRunner {
                     .sum::<f64>()
             })
             .sum()
-    }
-
-    fn per_video_extraction_cost(&self, system: &VocalExplore, extractor: ExtractorId) -> f64 {
-        self.dataset
-            .train
-            .videos()
-            .first()
-            .map(|clip| system.feature_manager().extraction_cost(extractor, clip))
-            .unwrap_or(0.25)
     }
 
     /// Macro F1 of the current model on the held-out evaluation set. Uses one

@@ -47,6 +47,7 @@ pub mod config;
 pub mod feature_manager;
 pub mod harness;
 pub mod model_manager;
+pub mod session;
 pub mod system;
 
 pub use alm::ActiveLearningManager;
@@ -57,6 +58,7 @@ pub use config::{
 pub use feature_manager::FeatureManager;
 pub use harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
 pub use model_manager::ModelManager;
+pub use session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
 pub use system::VocalExplore;
 
 /// Convenience re-exports for examples and downstream users.
@@ -66,6 +68,7 @@ pub mod prelude {
         CostModel, FeatureSelectionPolicy, PreprocessPolicy, SamplingPolicy, VocalExploreConfig,
     };
     pub use crate::harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
+    pub use crate::session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
     pub use crate::system::VocalExplore;
     pub use ve_al::AcquisitionKind;
     pub use ve_bandit::RisingBanditConfig;

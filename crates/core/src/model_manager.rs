@@ -168,6 +168,27 @@ impl ModelManager {
         predictions
     }
 
+    /// Predictions for a whole batch of segments from the latest model of the
+    /// given extractor (one `T_i` per segment, fanned out across the
+    /// data-parallel workers — each segment is coarse enough to be worth a
+    /// task by itself). Output is position-ordered and identical at any
+    /// thread count. Returns empty prediction lists when no model exists.
+    pub fn predict_batch(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        segments: &[(VideoId, TimeRange)],
+    ) -> Vec<Vec<Prediction>> {
+        if !self.has_model(extractor) {
+            return segments.iter().map(|_| Vec::new()).collect();
+        }
+        ve_sched::parallel::par_map_tasks(segments.len(), |i| {
+            let (vid, range) = &segments[i];
+            self.predict(extractor, corpus, fm, *vid, range)
+        })
+    }
+
     /// Raw class probabilities for a batch of already-extracted feature
     /// vectors (used by the acquisition functions). Returns one probability
     /// row per candidate as a contiguous block, or an empty block when no
@@ -384,6 +405,31 @@ mod tests {
                 &ve_ml::FeatureBlock::from_nested(&[vec![0.0; 64]])
             )
             .is_empty());
+    }
+
+    #[test]
+    fn predict_batch_matches_single_segment_predictions() {
+        let (ds, fm, mm, labels) = setup(60);
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        let segments: Vec<(VideoId, TimeRange)> = ds
+            .train
+            .videos()
+            .iter()
+            .skip(60)
+            .take(6)
+            .map(|c| (c.id, TimeRange::new(0.0, 1.0)))
+            .collect();
+        let batch = mm.predict_batch(ExtractorId::R3d, &ds.train, &fm, &segments);
+        assert_eq!(batch.len(), segments.len());
+        for (preds, (vid, range)) in batch.iter().zip(&segments) {
+            assert_eq!(
+                preds,
+                &mm.predict(ExtractorId::R3d, &ds.train, &fm, *vid, range)
+            );
+        }
+        // Without a model every segment gets an empty prediction list.
+        let empty = mm.predict_batch(ExtractorId::Clip, &ds.train, &fm, &segments);
+        assert!(empty.iter().all(|p| p.is_empty()));
     }
 
     #[test]

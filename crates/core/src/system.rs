@@ -7,23 +7,30 @@
 //! experiments use the [`crate::harness`] driver on top of it so that GPU
 //! costs (which are simulated) can be accounted per scheduling strategy.
 
-use crate::alm::ActiveLearningManager;
+use crate::alm::{ActiveLearningManager, SelectionStats};
 use crate::api::{ExploreBatch, SegmentRef};
 use crate::config::VocalExploreConfig;
 use crate::feature_manager::FeatureManager;
 use crate::model_manager::ModelManager;
+use std::sync::Arc;
 use ve_al::AcquisitionKind;
 use ve_features::{ExtractorId, FeatureSimulator};
 use ve_storage::{LabelRecord, StorageManager, VideoRecord};
 use ve_vidsim::{ClassId, TimeRange, VideoClip, VideoCorpus, VideoId};
 
 /// The VOCALExplore system.
+///
+/// The Feature and Model managers are held behind `Arc` so the async session
+/// engine ([`crate::session::AsyncSessionRunner`]) can hand clones of them to
+/// closures running on `ve_sched::Executor` worker threads; both managers use
+/// interior locking and are safe to share. The ALM and corpus stay owned —
+/// all selection (and its RNG) runs on the calling thread.
 pub struct VocalExplore {
     config: VocalExploreConfig,
     corpus: VideoCorpus,
     storage: StorageManager,
-    fm: FeatureManager,
-    mm: ModelManager,
+    fm: Arc<FeatureManager>,
+    mm: Arc<ModelManager>,
     alm: ActiveLearningManager,
     iteration: u32,
     labels_at_last_training: usize,
@@ -40,8 +47,8 @@ impl VocalExplore {
             config.seed,
             config.feature_dim,
         );
-        let fm = FeatureManager::new(simulator, storage.clone());
-        let mm = ModelManager::new(config.clone());
+        let fm = Arc::new(FeatureManager::new(simulator, storage.clone()));
+        let mm = Arc::new(ModelManager::new(config.clone()));
         let alm = ActiveLearningManager::new(config.clone());
         Self {
             config,
@@ -70,9 +77,19 @@ impl VocalExplore {
         &self.fm
     }
 
+    /// Shared handle to the feature manager (for executor task closures).
+    pub fn feature_manager_arc(&self) -> Arc<FeatureManager> {
+        Arc::clone(&self.fm)
+    }
+
     /// The model manager (exposed for the experiment harness).
     pub fn model_manager(&self) -> &ModelManager {
         &self.mm
+    }
+
+    /// Shared handle to the model manager (for executor task closures).
+    pub fn model_manager_arc(&self) -> Arc<ModelManager> {
+        Arc::clone(&self.mm)
     }
 
     /// The active learning manager (exposed for the experiment harness).
@@ -135,6 +152,7 @@ impl VocalExplore {
         ExploreBatch {
             segments: refs,
             acquisition: None,
+            stats: None,
         }
     }
 
@@ -147,14 +165,35 @@ impl VocalExplore {
         target_label: Option<ClassId>,
     ) -> ExploreBatch {
         assert!(clip_len > 0.0, "clip length must be positive");
-        self.iteration += 1;
         // Keep models and feature selection up to date before sampling (in
         // the in-process facade this work is synchronous; the harness
-        // accounts its latency according to the scheduling strategy).
+        // accounts its latency according to the scheduling strategy, and the
+        // async engine runs the equivalent work on executor threads instead).
         self.process_pending_work();
+        let (picks, stats) = self.sample_segments(budget, clip_len, target_label);
+        let refs = self.attach_predictions(picks);
+        ExploreBatch {
+            segments: refs,
+            acquisition: Some(stats.acquisition),
+            stats: Some(stats),
+        }
+    }
 
+    /// The selection step of `Explore` alone: advances the iteration counter
+    /// and picks `budget` segments, without running the deferred
+    /// training/evaluation work and without attaching predictions. The async
+    /// session engine calls this directly — it schedules the deferred work on
+    /// the executor and fans inference out as critical tasks.
+    pub fn sample_segments(
+        &mut self,
+        budget: usize,
+        clip_len: f64,
+        target_label: Option<ClassId>,
+    ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
+        assert!(clip_len > 0.0, "clip length must be positive");
+        self.iteration += 1;
         let pool = self.fm.videos_with_features(self.alm.current_extractor());
-        let (picks, stats) = self.alm.select_segments(
+        self.alm.select_segments(
             &self.corpus,
             &self.fm,
             &self.mm,
@@ -163,12 +202,7 @@ impl VocalExplore {
             clip_len,
             target_label,
             &pool,
-        );
-        let refs = self.attach_predictions(picks);
-        ExploreBatch {
-            segments: refs,
-            acquisition: Some(stats.acquisition),
-        }
+        )
     }
 
     /// `AddLabel(vid, start, end, label)`: records the user's label(s) for a
@@ -221,30 +255,42 @@ impl VocalExplore {
         scores.len()
     }
 
+    /// The videos the next eager-extraction round would process: up to
+    /// `max_videos` corpus videos not yet covered by the primary extractor,
+    /// in corpus order. Exposed separately from [`VocalExplore::eager_extract`]
+    /// so the async engine can submit one background `T_f⁻` task per video to
+    /// the executor while the synchronous path processes the identical set
+    /// inline — keeping the two paths' feature pools (and therefore
+    /// selections) bit-identical.
+    pub fn eager_plan(&self, max_videos: usize) -> Vec<VideoId> {
+        if max_videos == 0 {
+            return Vec::new();
+        }
+        let primary = self.alm.current_extractor();
+        let covered: std::collections::HashSet<VideoId> =
+            self.fm.videos_with_features(primary).into_iter().collect();
+        self.corpus
+            .videos()
+            .iter()
+            .filter(|clip| !covered.contains(&clip.id))
+            .take(max_videos)
+            .map(|clip| clip.id)
+            .collect()
+    }
+
     /// Eagerly extracts features for up to `max_videos` unlabeled videos for
     /// every active candidate extractor (`T_f⁻` work). Returns the simulated
     /// GPU seconds spent. Used by the `VE-full` strategy during labeling time.
     pub fn eager_extract(&mut self, max_videos: usize) -> f64 {
-        if max_videos == 0 {
-            return 0.0;
-        }
         let extractors = self.alm.active_extractors();
-        let primary = self.alm.current_extractor();
-        let covered: std::collections::HashSet<VideoId> =
-            self.fm.videos_with_features(primary).into_iter().collect();
         let mut spent = 0.0;
-        let mut processed = 0;
-        for clip in self.corpus.videos() {
-            if processed >= max_videos {
-                break;
-            }
-            if covered.contains(&clip.id) {
+        for vid in self.eager_plan(max_videos) {
+            let Some(clip) = self.corpus.get(vid) else {
                 continue;
-            }
+            };
             for &e in &extractors {
                 spent += self.fm.ensure_clip(e, clip);
             }
-            processed += 1;
         }
         spent
     }
@@ -259,23 +305,31 @@ impl VocalExplore {
         self.alm.current_extractor()
     }
 
+    /// Whether `Explore`/`Watch` will attach predictions right now (enough
+    /// labels collected and a model trained for the current extractor).
+    pub fn predictions_ready(&self) -> bool {
+        self.label_count() >= self.config.min_labels_for_predictions
+            && self.mm.has_model(self.alm.current_extractor())
+    }
+
     fn attach_predictions(&self, segments: Vec<(VideoId, TimeRange)>) -> Vec<SegmentRef> {
-        let have_enough_labels = self.label_count() >= self.config.min_labels_for_predictions;
-        let extractor = self.alm.current_extractor();
+        let predictions = if self.predictions_ready() {
+            self.mm.predict_batch(
+                self.alm.current_extractor(),
+                &self.corpus,
+                &self.fm,
+                &segments,
+            )
+        } else {
+            segments.iter().map(|_| Vec::new()).collect()
+        };
         segments
             .into_iter()
-            .map(|(vid, range)| {
-                let predictions = if have_enough_labels && self.mm.has_model(extractor) {
-                    self.mm
-                        .predict(extractor, &self.corpus, &self.fm, vid, &range)
-                } else {
-                    Vec::new()
-                };
-                SegmentRef {
-                    vid,
-                    range,
-                    predictions,
-                }
+            .zip(predictions)
+            .map(|((vid, range), predictions)| SegmentRef {
+                vid,
+                range,
+                predictions,
             })
             .collect()
     }

@@ -93,7 +93,7 @@ impl EagerPlanner {
                 stopped_by_guardrail: false,
             };
         }
-        let cap = (corpus_size as f64 * self.max_fraction_of_corpus).floor() as usize;
+        let cap = guardrail_cap(corpus_size, self.max_fraction_of_corpus);
         if self.processed_videos >= cap {
             return EagerExtractionPlan {
                 videos: 0,
@@ -116,6 +116,19 @@ impl EagerPlanner {
             stopped_by_guardrail: false,
         }
     }
+}
+
+/// The guardrail's video budget for a corpus.
+///
+/// A plain `(corpus * fraction).floor()` is wrong in two ways: binary
+/// floating-point error can land just *below* the exact product (e.g.
+/// `0.29 * 100 = 28.999999999999996`, flooring to 28 instead of 29), and at
+/// small corpora the floor can reach 0, silently disabling eager extraction
+/// even though the guardrail is enabled. The cap therefore floors with an
+/// epsilon and admits at least one video for any non-empty corpus.
+fn guardrail_cap(corpus_size: usize, fraction: f64) -> usize {
+    let cap = (corpus_size as f64 * fraction + 1e-9).floor() as usize;
+    cap.clamp(usize::from(corpus_size > 0), corpus_size)
 }
 
 #[cfg(test)]
@@ -190,5 +203,49 @@ mod tests {
     #[should_panic(expected = "guardrail fraction")]
     fn rejects_invalid_guardrail() {
         EagerPlanner::new().with_guardrail(0.0);
+    }
+
+    #[test]
+    fn guardrail_cap_is_exact_despite_binary_rounding() {
+        // 0.29 is not representable in binary: 0.29 * 100 evaluates to
+        // 28.999999999999996, which a plain floor truncates to 28. The exact
+        // answer is 29 — regression for the off-by-one.
+        assert_eq!(guardrail_cap(100, 0.29), 29);
+        assert_eq!(guardrail_cap(1000, 0.02), 20);
+        assert_eq!(guardrail_cap(100, 1.0), 100);
+        // Fractions that do not land on an integer still floor.
+        assert_eq!(guardrail_cap(100, 0.295), 29);
+        assert_eq!(guardrail_cap(10, 0.29), 2);
+    }
+
+    #[test]
+    fn guardrail_admits_at_least_one_video_on_tiny_corpora() {
+        // corpus 3 at 10%: exact product is 0.3 — a bare floor would cap at
+        // 0 and silently disable eager extraction for the whole session.
+        assert_eq!(guardrail_cap(3, 0.1), 1);
+        assert_eq!(guardrail_cap(1, 0.5), 1);
+        // ... but an empty corpus admits nothing.
+        assert_eq!(guardrail_cap(0, 0.5), 0);
+        let mut p = EagerPlanner::new().with_guardrail(0.1);
+        let plan = p.plan(3, 3, 1, 0.3, false);
+        assert_eq!(plan.videos, 1, "tiny corpus still gets one eager video");
+        let plan = p.plan(2, 3, 1, 0.3, false);
+        assert!(plan.stopped_by_guardrail);
+    }
+
+    #[test]
+    fn guardrail_cap_exact_boundary_regression() {
+        // The planner must process exactly 29 videos under a 29% guardrail on
+        // a 100-video corpus — not 28 (floor of the rounded-down product).
+        let mut p = EagerPlanner::new().with_guardrail(0.29);
+        let mut total = 0;
+        for _ in 0..10 {
+            let plan = p.plan(100, 100, 1, 0.3, false);
+            total += plan.videos;
+            if plan.stopped_by_guardrail {
+                break;
+            }
+        }
+        assert_eq!(total, 29);
     }
 }

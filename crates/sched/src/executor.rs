@@ -6,26 +6,48 @@
 //! number of worker threads pulling closures from a shared priority queue:
 //! critical work always runs before normal work, which runs before
 //! background (eager) work.
+//!
+//! The executor is the engine behind the async session path in `ve-core`:
+//! `Explore` submits training, evaluation, and eager-extraction closures here
+//! and measures visible latency from their actual completion times.
+//!
+//! # Counter semantics
+//!
+//! All counters live under the same mutex as the job queues, so observers
+//! never see a torn state:
+//!
+//! * `submitted` is incremented **before** the job is pushed (in the same
+//!   critical section), so `submitted >= completed` always holds and a job is
+//!   never runnable without having been counted.
+//! * `completed` counts every job that finished running, **including jobs
+//!   that panicked**; `failed` counts the panicked subset. A panicking job
+//!   therefore never wedges [`Executor::wait_idle`].
+//! * Workers mark themselves in-flight while holding the lock as they pop,
+//!   so "queues empty" and "nothing running" are checked atomically.
 
 use crate::task::Priority;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 #[derive(Default)]
-struct SharedQueue {
+struct State {
     critical: VecDeque<Job>,
     normal: VecDeque<Job>,
     background: VecDeque<Job>,
     shutdown: bool,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    in_flight: usize,
 }
 
-impl SharedQueue {
+impl State {
     fn push(&mut self, priority: Priority, job: Job) {
         match priority {
             Priority::Critical => self.critical.push_back(job),
@@ -41,17 +63,23 @@ impl SharedQueue {
             .or_else(|| self.background.pop_front())
     }
 
-    fn is_empty(&self) -> bool {
-        self.critical.is_empty() && self.normal.is_empty() && self.background.is_empty()
+    fn queued(&self) -> usize {
+        self.critical.len() + self.normal.len() + self.background.len()
+    }
+
+    /// Nothing queued and nothing running: every submitted job has completed.
+    fn is_drained(&self) -> bool {
+        self.queued() == 0 && self.in_flight == 0
     }
 }
 
 struct Inner {
-    queue: Mutex<SharedQueue>,
+    state: Mutex<State>,
+    /// Workers wait here for new jobs (or shutdown).
     available: Condvar,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    running: AtomicBool,
+    /// `wait_idle`/`wait_for` callers wait here; notified whenever a worker
+    /// finishes the last outstanding job.
+    drained: Condvar,
 }
 
 /// Counters describing executor activity.
@@ -59,16 +87,89 @@ struct Inner {
 pub struct ExecutorStats {
     /// Jobs submitted since creation.
     pub submitted: u64,
-    /// Jobs that have finished running.
+    /// Jobs that have finished running (including panicked jobs).
     pub completed: u64,
+    /// Jobs that panicked while running (a subset of `completed`).
+    pub failed: u64,
+}
+
+impl ExecutorStats {
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> u64 {
+        self.submitted - self.completed
+    }
+
+    /// Jobs that finished without panicking.
+    pub fn succeeded(&self) -> u64 {
+        self.completed - self.failed
+    }
+}
+
+/// Error returned by [`TaskHandle::join`] when the job panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// The panic payload rendered as a string (when it was a `&str`/`String`).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "executor job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+struct HandleShared<T> {
+    result: Mutex<Option<Result<T, JobPanicked>>>,
+    done: Condvar,
+}
+
+/// Handle to a job submitted with [`Executor::submit_with_handle`]; resolves
+/// to the closure's return value (or the panic that killed it).
+pub struct TaskHandle<T> {
+    shared: Arc<HandleShared<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks until the job has run and returns its result. A panicking job
+    /// yields `Err(JobPanicked)` instead of wedging the caller.
+    pub fn join(self) -> Result<T, JobPanicked> {
+        let mut slot = self.shared.result.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            self.shared.done.wait(&mut slot);
+        }
+    }
+
+    /// Non-blocking variant of [`TaskHandle::join`]: returns `None` while the
+    /// job has not finished yet.
+    pub fn try_join(&self) -> Option<Result<T, JobPanicked>> {
+        self.shared.result.lock().take()
+    }
+
+    /// Whether the job has finished (its result may already have been taken).
+    pub fn is_finished(&self) -> bool {
+        self.shared.result.lock().is_some()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Priority-aware thread-pool executor.
 pub struct Executor {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
-    /// Kept so tests can assert results flow back; not used internally.
-    _result_tx: Sender<()>,
 }
 
 impl Executor {
@@ -79,13 +180,10 @@ impl Executor {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         let inner = Arc::new(Inner {
-            queue: Mutex::new(SharedQueue::default()),
+            state: Mutex::new(State::default()),
             available: Condvar::new(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            running: AtomicBool::new(true),
+            drained: Condvar::new(),
         });
-        let (tx, _rx) = unbounded();
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let inner = Arc::clone(&inner);
@@ -99,55 +197,103 @@ impl Executor {
         Self {
             inner,
             workers: handles,
-            _result_tx: tx,
         }
     }
 
-    /// Submits a closure at the given priority.
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a closure at the given priority. Panics inside the job are
+    /// caught by the worker and surfaced in [`ExecutorStats::failed`].
     pub fn submit<F>(&self, priority: Priority, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
         {
-            let mut q = self.inner.queue.lock();
-            q.push(priority, Box::new(job));
+            let mut state = self.inner.state.lock();
+            // `submitted` is bumped before the push, inside the same critical
+            // section — see the module docs on counter semantics.
+            state.submitted += 1;
+            state.push(priority, Box::new(job));
         }
         self.inner.available.notify_one();
     }
 
-    /// Blocks until every submitted job has completed.
-    pub fn wait_idle(&self) {
-        loop {
-            let pending = {
-                let q = self.inner.queue.lock();
-                !q.is_empty()
+    /// Submits a closure and returns a [`TaskHandle`] that resolves to its
+    /// return value. A panic inside the job is stored in the handle **and**
+    /// re-raised to the worker so it is counted in [`ExecutorStats::failed`].
+    pub fn submit_with_handle<T, F>(&self, priority: Priority, job: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let shared = Arc::new(HandleShared {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let slot = Arc::clone(&shared);
+        self.submit(priority, move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            let panicked = match &outcome {
+                Ok(_) => None,
+                Err(payload) => Some(panic_message(payload.as_ref())),
             };
-            let submitted = self.inner.submitted.load(Ordering::SeqCst);
-            let completed = self.inner.completed.load(Ordering::SeqCst);
-            if !pending && submitted == completed {
-                return;
+            *slot.result.lock() = Some(match outcome {
+                Ok(value) => Ok(value),
+                Err(_) => Err(JobPanicked {
+                    message: panicked.clone().unwrap_or_default(),
+                }),
+            });
+            slot.done.notify_all();
+            if let Some(message) = panicked {
+                // Re-raise so the worker loop counts this job as failed; the
+                // handle already holds the error, so nothing is lost.
+                std::panic::resume_unwind(Box::new(message));
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        TaskHandle { shared }
+    }
+
+    /// Blocks until every submitted job has completed (including jobs that
+    /// panic — see [`ExecutorStats::failed`]).
+    pub fn wait_idle(&self) {
+        let mut state = self.inner.state.lock();
+        while !state.is_drained() {
+            self.inner.drained.wait(&mut state);
         }
     }
 
-    /// Current counters.
+    /// Like [`Executor::wait_idle`], but gives up after `timeout`. Returns
+    /// `true` when the executor drained, `false` on timeout.
+    pub fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        while !state.is_drained() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.drained.wait_for(&mut state, deadline - now);
+        }
+        true
+    }
+
+    /// Current counters (read atomically under the queue lock).
     pub fn stats(&self) -> ExecutorStats {
+        let state = self.inner.state.lock();
         ExecutorStats {
-            submitted: self.inner.submitted.load(Ordering::SeqCst),
-            completed: self.inner.completed.load(Ordering::SeqCst),
+            submitted: state.submitted,
+            completed: state.completed,
+            failed: state.failed,
         }
     }
 }
 
 impl Drop for Executor {
     fn drop(&mut self) {
-        self.inner.running.store(false, Ordering::SeqCst);
-        {
-            let mut q = self.inner.queue.lock();
-            q.shutdown = true;
-        }
+        self.inner.state.lock().shutdown = true;
         self.inner.available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -158,23 +304,30 @@ impl Drop for Executor {
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
-            let mut q = inner.queue.lock();
+            let mut state = inner.state.lock();
             loop {
-                if let Some(job) = q.pop() {
+                if let Some(job) = state.pop() {
+                    // Marked in-flight under the same lock as the pop, so
+                    // `is_drained` can never miss a running job.
+                    state.in_flight += 1;
                     break Some(job);
                 }
-                if q.shutdown {
+                if state.shutdown {
                     break None;
                 }
-                inner.available.wait(&mut q);
+                inner.available.wait(&mut state);
             }
         };
-        match job {
-            Some(job) => {
-                job();
-                inner.completed.fetch_add(1, Ordering::SeqCst);
-            }
-            None => return,
+        let Some(job) = job else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut state = inner.state.lock();
+        state.in_flight -= 1;
+        state.completed += 1;
+        if outcome.is_err() {
+            state.failed += 1;
+        }
+        if state.is_drained() {
+            inner.drained.notify_all();
         }
     }
 }
@@ -182,7 +335,7 @@ fn worker_loop(inner: Arc<Inner>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex as StdMutex;
 
     #[test]
@@ -200,6 +353,9 @@ mod tests {
         let stats = ex.stats();
         assert_eq!(stats.submitted, 100);
         assert_eq!(stats.completed, 100);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.pending(), 0);
+        assert_eq!(stats.succeeded(), 100);
     }
 
     #[test]
@@ -260,5 +416,154 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn rejects_zero_workers() {
         Executor::new(0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_wait_idle() {
+        // Regression: the seed executor's worker died with its job, never
+        // bumping `completed`, so `wait_idle` spun forever.
+        let ex = Executor::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        ex.submit(Priority::Normal, || panic!("job exploded"));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            ex.submit(Priority::Normal, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ex.wait_idle(); // must return, not hang
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+        let stats = ex.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6, "panicked jobs still count as completed");
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.succeeded(), 5);
+    }
+
+    #[test]
+    fn worker_survives_a_panic_and_keeps_serving() {
+        // Single worker: if the panic killed the thread, the follow-up job
+        // could never run.
+        let ex = Executor::new(1);
+        let ran = Arc::new(AtomicBool::new(false));
+        ex.submit(Priority::Normal, || panic!("first job dies"));
+        {
+            let ran = Arc::clone(&ran);
+            ex.submit(Priority::Normal, move || ran.store(true, Ordering::SeqCst));
+        }
+        ex.wait_idle();
+        assert!(ran.load(Ordering::SeqCst));
+        assert_eq!(ex.stats().failed, 1);
+    }
+
+    #[test]
+    fn submitted_is_visible_before_the_job_runs() {
+        // `submit` bumps `submitted` before pushing, under the queue lock.
+        let ex = Executor::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(Priority::Normal, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        ex.submit(Priority::Normal, || {});
+        let stats = ex.stats();
+        assert_eq!(stats.submitted, 2);
+        assert!(stats.completed <= 1);
+        assert_eq!(stats.pending(), stats.submitted - stats.completed);
+        gate.store(true, Ordering::SeqCst);
+        ex.wait_idle();
+        assert_eq!(ex.stats().pending(), 0);
+    }
+
+    #[test]
+    fn wait_for_times_out_then_succeeds() {
+        let ex = Executor::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(Priority::Normal, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        assert!(
+            !ex.wait_for(Duration::from_millis(20)),
+            "gated job cannot drain within the timeout"
+        );
+        gate.store(true, Ordering::SeqCst);
+        assert!(ex.wait_for(Duration::from_secs(10)));
+        assert_eq!(ex.stats().completed, 1);
+    }
+
+    #[test]
+    fn wait_idle_with_no_work_returns_immediately() {
+        let ex = Executor::new(2);
+        ex.wait_idle();
+        assert!(ex.wait_for(Duration::from_millis(1)));
+        assert_eq!(
+            ex.stats(),
+            ExecutorStats {
+                submitted: 0,
+                completed: 0,
+                failed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn handle_returns_the_job_result() {
+        let ex = Executor::new(2);
+        let handle = ex.submit_with_handle(Priority::Critical, || 6 * 7);
+        assert_eq!(handle.join().unwrap(), 42);
+        ex.wait_idle();
+        assert_eq!(ex.stats().failed, 0);
+    }
+
+    #[test]
+    fn handle_surfaces_a_panic_as_error_and_counts_it_failed() {
+        let ex = Executor::new(2);
+        let handle = ex.submit_with_handle(Priority::Normal, || -> usize {
+            panic!("typed job exploded");
+        });
+        let err = handle.join().unwrap_err();
+        assert!(err.message.contains("typed job exploded"), "{err}");
+        ex.wait_idle();
+        let stats = ex.stats();
+        assert_eq!(
+            stats.failed, 1,
+            "handle jobs re-raise so workers count them"
+        );
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn try_join_reports_progress() {
+        let ex = Executor::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let gate = Arc::clone(&gate);
+            ex.submit_with_handle(Priority::Normal, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                "done"
+            })
+        };
+        assert!(!handle.is_finished());
+        assert!(handle.try_join().is_none());
+        gate.store(true, Ordering::SeqCst);
+        ex.wait_idle();
+        assert!(handle.is_finished());
+        assert_eq!(handle.try_join().unwrap().unwrap(), "done");
+    }
+
+    #[test]
+    fn workers_accessor() {
+        assert_eq!(Executor::new(3).workers(), 3);
     }
 }

@@ -13,8 +13,9 @@
 //! * [`task`] — task descriptors with priorities and simulated costs,
 //! * [`queue`] — a priority queue (critical → normal → background, FIFO
 //!   within a priority),
-//! * [`executor`] — a small crossbeam-based worker pool that runs closures in
-//!   priority order (the "real" execution path),
+//! * [`executor`] — a panic-safe worker pool that runs closures in priority
+//!   order (the "real" execution path behind `ve-core`'s async session
+//!   engine), with condvar-based idle waits and typed task handles,
 //! * [`simclock`] — a resource-limited simulated clock used by the latency
 //!   experiments (the GPU costs themselves are simulated, Table 3),
 //! * [`strategy`] — the Serial, `VE-partial`, and `VE-full` scheduling
@@ -34,7 +35,7 @@ pub mod strategy;
 pub mod task;
 
 pub use eager::{EagerExtractionPlan, EagerPlanner};
-pub use executor::{Executor, ExecutorStats};
+pub use executor::{Executor, ExecutorStats, JobPanicked, TaskHandle};
 pub use jit::{JitTrainingPolicy, TrainingSchedule};
 pub use queue::PriorityTaskQueue;
 pub use simclock::{SimClock, SimTaskOutcome};

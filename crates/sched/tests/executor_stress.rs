@@ -1,0 +1,155 @@
+//! Stress tests for the priority executor: concurrent submitters, priority
+//! ordering under contention, panic storms, and counter convergence.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+use ve_sched::{Executor, Priority};
+
+const PRIORITIES: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Background];
+
+#[test]
+fn mixed_priority_flood_from_many_submitters_runs_every_job() {
+    const SUBMITTERS: usize = 8;
+    const JOBS_PER_SUBMITTER: usize = 250;
+
+    let ex = Arc::new(Executor::new(4));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let start = Arc::new(Barrier::new(SUBMITTERS));
+
+    let handles: Vec<_> = (0..SUBMITTERS)
+        .map(|s| {
+            let ex = Arc::clone(&ex);
+            let ran = Arc::clone(&ran);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                for j in 0..JOBS_PER_SUBMITTER {
+                    let ran = Arc::clone(&ran);
+                    ex.submit(PRIORITIES[(s + j) % 3], move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    ex.wait_idle();
+    let total = (SUBMITTERS * JOBS_PER_SUBMITTER) as u64;
+    assert_eq!(ran.load(Ordering::SeqCst) as u64, total);
+    let stats = ex.stats();
+    assert_eq!(stats.submitted, total);
+    assert_eq!(
+        stats.completed, total,
+        "counters must converge after a flood"
+    );
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn priority_classes_never_invert_under_a_single_worker() {
+    // Gate the only worker so every submission (from several racing threads)
+    // is queued before anything executes; execution order then equals queue
+    // order, which must be Critical, then Normal, then Background.
+    let ex = Arc::new(Executor::new(1));
+    let gate = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        ex.submit(Priority::Critical, move || {
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    }
+
+    let order: Arc<Mutex<Vec<Priority>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Arc::new(Barrier::new(3));
+    let handles: Vec<_> = (0..3)
+        .map(|s| {
+            let ex = Arc::clone(&ex);
+            let order = Arc::clone(&order);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                for j in 0..30 {
+                    // Each submitter interleaves all three classes.
+                    let priority = PRIORITIES[(s + j) % 3];
+                    let order = Arc::clone(&order);
+                    ex.submit(priority, move || {
+                        order.lock().unwrap().push(priority);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    gate.store(true, Ordering::SeqCst);
+    ex.wait_idle();
+
+    let order = order.lock().unwrap();
+    assert_eq!(order.len(), 90);
+    let boundary_ok = order.windows(2).all(|w| w[0] <= w[1]);
+    assert!(
+        boundary_ok,
+        "priority classes inverted in execution order: {order:?}"
+    );
+}
+
+#[test]
+fn stats_converge_when_jobs_panic_under_load() {
+    const SUBMITTERS: usize = 4;
+    const JOBS_PER_SUBMITTER: usize = 100;
+
+    let ex = Arc::new(Executor::new(3));
+    let succeeded = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..SUBMITTERS)
+        .map(|s| {
+            let ex = Arc::clone(&ex);
+            let succeeded = Arc::clone(&succeeded);
+            std::thread::spawn(move || {
+                for j in 0..JOBS_PER_SUBMITTER {
+                    let succeeded = Arc::clone(&succeeded);
+                    if j % 10 == 3 {
+                        ex.submit(PRIORITIES[(s + j) % 3], || panic!("storm"));
+                    } else {
+                        ex.submit(PRIORITIES[(s + j) % 3], move || {
+                            succeeded.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    ex.wait_idle();
+    let total = (SUBMITTERS * JOBS_PER_SUBMITTER) as u64;
+    let panicked = (SUBMITTERS * JOBS_PER_SUBMITTER / 10) as u64;
+    let stats = ex.stats();
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.failed, panicked);
+    assert_eq!(succeeded.load(Ordering::SeqCst) as u64, total - panicked);
+    assert_eq!(stats.succeeded(), total - panicked);
+}
+
+#[test]
+fn handles_resolve_under_concurrent_load() {
+    let ex = Arc::new(Executor::new(4));
+    let handles: Vec<_> = (0..200u64)
+        .map(|i| ex.submit_with_handle(PRIORITIES[(i % 3) as usize], move || i * i))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        assert_eq!(handle.join().unwrap(), (i * i) as u64);
+    }
+    ex.wait_idle();
+    assert_eq!(ex.stats().failed, 0);
+}

@@ -37,7 +37,7 @@ pub use feature_store::{FeatureStore, VideoFeatures};
 pub use labels::{LabelRecord, LabelStore};
 pub use metadata::{VideoMetadataStore, VideoRecord};
 pub use model_registry::{ModelRecord, ModelRegistry};
-pub use wal::{LabelWal, WalRecovery};
+pub use wal::{LabelWal, WalRecovery, WalSync};
 
 use parking_lot::RwLock;
 use std::sync::Arc;
