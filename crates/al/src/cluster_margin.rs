@@ -12,7 +12,7 @@
 //! margin-filtered pool is gathered into a contiguous [`FeatureBlock`] so
 //! the k-means assign step is one blocked, parallel nearest-centroid sweep.
 
-use ve_ml::{FeatureBlock, FeatureBlockBuilder};
+use ve_ml::{argmax_chunked, FeatureBlock, FeatureBlockBuilder};
 
 /// Configuration for Cluster-Margin.
 #[derive(Debug, Clone, Copy)]
@@ -154,31 +154,36 @@ fn margin(p: &[f32]) -> f64 {
 /// farthest-point sweep (k-means++ without randomness) starting from row 0;
 /// ties in both initialization and assignment go to the first (lowest) index.
 fn kmeans_assign(pool: &FeatureBlock, k: usize, iters: usize) -> Vec<usize> {
+    kmeans_fit(pool, k, iters).1
+}
+
+/// Deterministic k-means returning both the fitted centroids and the cluster
+/// assignment of every pool row. The centroids are what the cluster-sketch
+/// candidate reducer keeps alive across `Explore` calls (new rows are
+/// assigned incrementally with [`FeatureBlock::nearest_rows`]); the
+/// assignment alone is what [`cluster_margin_selection`]'s diversity stage
+/// consumes. Identical arithmetic to the original `kmeans_assign`, so either
+/// entry point produces the same clustering.
+pub fn kmeans_fit(pool: &FeatureBlock, k: usize, iters: usize) -> (FeatureBlock, Vec<usize>) {
     let n = pool.rows();
     let k = k.min(n).max(1);
     if pool.dim() == 0 {
         // Degenerate zero-dimensional features: every distance is 0, so all
         // rows belong to the first centroid (first-index-wins), matching the
         // seed behaviour.
-        return vec![0; n];
+        return (FeatureBlock::empty(0), vec![0; n]);
     }
 
     // Farthest-point initialization: maintain, for every row, its squared
     // distance to the nearest chosen centroid; each step adds the first row
-    // attaining the maximum. One parallel distance pass per chosen centroid
-    // instead of the seed's O(centroids · pool²) rescans.
+    // attaining the maximum (chunk-parallel argmax, first index wins). One
+    // parallel distance pass per chosen centroid instead of the seed's
+    // O(centroids · pool²) rescans.
     let mut centroid_rows = vec![0usize];
     let mut init_min = vec![0.0f32; n];
     pool.sq_distances_to(pool.row(0), &mut init_min);
     while centroid_rows.len() < k {
-        let mut best = 0usize;
-        let mut best_d = f32::NEG_INFINITY;
-        for (i, &d) in init_min.iter().enumerate() {
-            if d > best_d {
-                best_d = d;
-                best = i;
-            }
-        }
+        let best = argmax_chunked(&init_min).unwrap_or(0);
         if centroid_rows.contains(&best) {
             break;
         }
@@ -216,7 +221,7 @@ fn kmeans_assign(pool: &FeatureBlock, k: usize, iters: usize) -> Vec<usize> {
         }
         centroids = next.build();
     }
-    assignment
+    (centroids, assignment)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! selection step is one parallel `‖x_i − pick‖²` pass using cached squared
 //! norms, so a 20k-window pool stays well under the interactivity budget.
 
-use ve_ml::FeatureBlock;
+use ve_ml::{argmax_chunked_filtered, FeatureBlock};
 
 /// Selects `budget` candidate indices with the greedy k-center rule.
 ///
@@ -66,30 +66,60 @@ pub fn coreset_selection(
         candidates.min_sq_distances_to_block(labeled)
     };
 
-    let take = budget.min(candidates.rows());
+    let eligible: Vec<usize> = (0..candidates.rows()).collect();
+    greedy_k_center(candidates, &mut min_dist, &eligible, budget)
+}
+
+/// The greedy k-center loop over an externally maintained coverage vector —
+/// the incremental entry point used by the ALM's persistent
+/// `AcquisitionIndex`.
+///
+/// * `coverage` — `coverage[i]` is the squared distance from candidate `i` to
+///   the covered set (labeled anchors accumulated across iterations, or the
+///   centroid seeding when no anchor exists yet). The caller owns this state:
+///   maintaining it across `Explore` calls and updating it only for the Δ new
+///   anchors (via [`FeatureBlock::min_sq_distances_update`]) is what turns
+///   the per-call O(n·L) anchor scan into O(n·Δ). The vector is mutated in
+///   place by the selection's own picks, so pass a scratch copy when the
+///   persistent state must not absorb them.
+/// * `eligible` — ascending candidate indices the selection may pick from
+///   (the cluster-sketch reduction, with labeled windows masked out).
+///   Coverage updates still run over *all* rows, so the greedy geometry is
+///   unchanged by the reduction.
+///
+/// Equivalence: with `eligible = 0..rows` and `coverage` equal to what
+/// [`coreset_selection`] computes from its `labeled` block, the selections
+/// are bit-identical (each step is the same first-index-wins argmax over the
+/// same values followed by the same parallel coverage update) — property
+/// tests pin this.
+///
+/// # Panics
+/// Panics if `coverage.len() != candidates.rows()` or an eligible index is
+/// out of range.
+pub fn greedy_k_center(
+    candidates: &FeatureBlock,
+    coverage: &mut [f32],
+    eligible: &[usize],
+    budget: usize,
+) -> Vec<usize> {
+    assert_eq!(
+        coverage.len(),
+        candidates.rows(),
+        "coverage length must match candidates"
+    );
+    let take = budget.min(eligible.len());
     let mut selected = Vec::with_capacity(take);
     let mut picked = vec![false; candidates.rows()];
     for _ in 0..take {
-        // Pick the first candidate with the largest distance to the covered
-        // set (ascending scan + strict `>` ⇒ first index wins ties).
-        let mut best = usize::MAX;
-        let mut best_dist = f32::NEG_INFINITY;
-        for (i, &d) in min_dist.iter().enumerate() {
-            if picked[i] {
-                continue;
-            }
-            if d > best_dist {
-                best_dist = d;
-                best = i;
-            }
-        }
-        if best == usize::MAX {
+        // Pick the first eligible candidate with the largest distance to the
+        // covered set (chunk-parallel ascending scan, first index wins ties).
+        let Some(best) = argmax_chunked_filtered(coverage, eligible, &picked) else {
             break;
-        }
+        };
         selected.push(best);
         picked[best] = true;
         // Update coverage distances with one parallel pass.
-        candidates.min_sq_distances_update(candidates.row(best), &mut min_dist);
+        candidates.min_sq_distances_update(candidates.row(best), coverage);
     }
     selected
 }
@@ -204,6 +234,49 @@ mod tests {
     #[should_panic(expected = "labeled dimensions")]
     fn rejects_mismatched_labeled_dims() {
         coreset_selection(&block(&[vec![1.0, 2.0]]), &block(&[vec![1.0]]), 1);
+    }
+
+    #[test]
+    fn greedy_k_center_with_full_eligibility_matches_coreset_selection() {
+        let candidates = block(&clustered_candidates());
+        let labeled = block(&[vec![0.0, 0.0], vec![10.0, 0.0]]);
+        let reference = coreset_selection(&candidates, &labeled, 4);
+        let mut coverage = candidates.min_sq_distances_to_block(&labeled);
+        let eligible: Vec<usize> = (0..candidates.rows()).collect();
+        let incremental = greedy_k_center(&candidates, &mut coverage, &eligible, 4);
+        assert_eq!(incremental, reference);
+    }
+
+    #[test]
+    fn greedy_k_center_restricts_picks_to_eligible_set() {
+        let candidates = block(&clustered_candidates());
+        let mut coverage = {
+            let centroid = candidates.centroid().unwrap();
+            let mut out = vec![0.0f32; candidates.rows()];
+            candidates.sq_distances_to(&centroid, &mut out);
+            out
+        };
+        // Only cluster 1 (indices 5..10) is eligible.
+        let eligible: Vec<usize> = (5..10).collect();
+        let picks = greedy_k_center(&candidates, &mut coverage, &eligible, 3);
+        assert_eq!(picks.len(), 3);
+        assert!(picks.iter().all(|&i| (5..10).contains(&i)), "{picks:?}");
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), picks.len());
+        // Budget larger than the eligible set is capped by it.
+        let mut coverage2 = vec![1.0f32; candidates.rows()];
+        assert_eq!(
+            greedy_k_center(&candidates, &mut coverage2, &[2, 7], 10).len(),
+            2
+        );
+        assert!(greedy_k_center(&candidates, &mut coverage2, &[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage length")]
+    fn greedy_k_center_rejects_short_coverage() {
+        let candidates = block(&clustered_candidates());
+        greedy_k_center(&candidates, &mut [0.0; 3], &[0], 1);
     }
 
     mod proptests {

@@ -18,13 +18,24 @@
 //! d(i ∪ j, k) = (nᵢ · d(i, k) + nⱼ · d(j, k)) / (nᵢ + nⱼ)
 //! ```
 //!
-//! so the full n × n distance matrix (built once with the blocked
+//! so the distance matrix (built once with the blocked
 //! [`FeatureBlock::pairwise_sq_distances`] kernel) can be *maintained* in
 //! O(n) per merge instead of recomputed from member pairs — the seed
 //! implementation's recompute-everything scan was O(n³) distance evaluations
 //! per run (O(n⁴) with the per-pair member loops). Cached per-row minima
 //! bring the closest-pair search down to O(n) per merge in the common case,
 //! for O(n²) total work after the matrix build.
+//!
+//! # Memory layout
+//!
+//! The matrix is symmetric with a zero diagonal, so [`hac_average_linkage`]
+//! stores only the upper triangle, condensed into one `f32` buffer of
+//! `n·(n−1)/2` entries — 2 bytes/pair steady state versus the previous full
+//! square `f64` matrix's 8 bytes/pair (recurrence arithmetic stays in `f64`;
+//! only storage is rounded). The previous representation is kept as
+//! [`hac_average_linkage_dense`], the memory-heavy reference the equivalence
+//! tests pin the condensed implementation against (bit-identical cluster
+//! assignments at n = 1,000 on the benchmark-shaped input).
 //!
 //! # Determinism
 //!
@@ -34,12 +45,162 @@
 use crate::cluster_margin::{margins_of, round_robin, ClusterMarginConfig};
 use ve_ml::FeatureBlock;
 
+/// Index of the `(i, j)` pair (`i < j`) in a condensed upper-triangular
+/// buffer over `n` items.
+#[inline]
+fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
 /// Clusters the rows of `points` into at most `num_clusters` clusters with
 /// average-linkage HAC and returns the cluster index of every row.
+///
+/// The Lance–Williams matrix lives in a condensed upper-triangular `f32`
+/// buffer (see the module docs); the weighted-average updates are computed in
+/// `f64` from the stored operands and rounded back to `f32`.
 ///
 /// # Panics
 /// Panics if `points` has no rows or `num_clusters == 0`.
 pub fn hac_average_linkage(points: &FeatureBlock, num_clusters: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "cannot cluster an empty set");
+    assert!(num_clusters > 0, "need at least one cluster");
+    let n = points.rows();
+    let target = num_clusters.min(n);
+
+    // Condensed upper triangle: entry (i, j) with i < j lives at
+    // `condensed_index(n, i, j)`. Seeded from the blocked f32 pairwise
+    // kernel; the full square f32 matrix is freed right after the copy, so
+    // peak memory is 6 bytes/pair and steady state 2 bytes/pair (vs the
+    // dense reference's 8).
+    let base = points.pairwise_sq_distances(points);
+    let mut dist = vec![0.0f32; n * (n - 1) / 2];
+    for i in 0..n.saturating_sub(1) {
+        let row = base.row(i);
+        let offset = condensed_index(n, i, i + 1);
+        dist[offset..offset + (n - i - 1)].copy_from_slice(&row[i + 1..]);
+    }
+    drop(base);
+
+    let mut active: Vec<bool> = vec![true; n];
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut num_active = n;
+
+    // Cached row minima over the upper triangle: for every active slot i,
+    // the smallest distance to an active slot j > i (first j wins ties).
+    let mut min_d = vec![f32::INFINITY; n];
+    let mut min_j = vec![usize::MAX; n];
+    let recompute_row = |dist: &[f32], active: &[bool], i: usize| -> (f32, usize) {
+        let mut best = f32::INFINITY;
+        let mut best_j = usize::MAX;
+        let offset = i * n - i * (i + 1) / 2;
+        for (j, &a) in active.iter().enumerate().skip(i + 1) {
+            if !a {
+                continue;
+            }
+            let d = dist[offset + (j - i - 1)];
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        (best, best_j)
+    };
+    for i in 0..n {
+        let (d, j) = recompute_row(&dist, &active, i);
+        min_d[i] = d;
+        min_j[i] = j;
+    }
+
+    while num_active > target {
+        // Closest pair = first active row attaining the global minimum of the
+        // cached row minima (strict < ⇒ lexicographically first pair wins).
+        let mut bi = usize::MAX;
+        let mut bd = f32::INFINITY;
+        for (i, &a) in active.iter().enumerate() {
+            if a && min_j[i] != usize::MAX && min_d[i] < bd {
+                bd = min_d[i];
+                bi = i;
+            }
+        }
+        if bi == usize::MAX {
+            break;
+        }
+        let (i, j) = (bi, min_j[bi]);
+
+        // Lance–Williams update of row/column i to represent i ∪ j.
+        let (ni, nj) = (sizes[i] as f64, sizes[j] as f64);
+        let inv = 1.0 / (ni + nj);
+        for (k, &alive) in active.iter().enumerate() {
+            if !alive || k == i || k == j {
+                continue;
+            }
+            let ik = condensed_index(n, i.min(k), i.max(k));
+            let jk = condensed_index(n, j.min(k), j.max(k));
+            dist[ik] = ((ni * dist[ik] as f64 + nj * dist[jk] as f64) * inv) as f32;
+        }
+        sizes[i] += sizes[j];
+        active[j] = false;
+        num_active -= 1;
+        let moved = std::mem::take(&mut members[j]);
+        members[i].extend(moved);
+
+        // Repair the cached minima.
+        let (d, jj) = recompute_row(&dist, &active, i);
+        min_d[i] = d;
+        min_j[i] = jj;
+        for k in 0..n {
+            if !active[k] || k == i {
+                continue;
+            }
+            if k < i {
+                let nd = dist[condensed_index(n, k, i)];
+                if min_j[k] == j {
+                    // Its minimum pointed at the vanished slot.
+                    let (d, jj) = recompute_row(&dist, &active, k);
+                    min_d[k] = d;
+                    min_j[k] = jj;
+                } else if min_j[k] == i {
+                    if nd <= min_d[k] {
+                        min_d[k] = nd;
+                    } else {
+                        let (d, jj) = recompute_row(&dist, &active, k);
+                        min_d[k] = d;
+                        min_j[k] = jj;
+                    }
+                } else if nd < min_d[k] || (nd == min_d[k] && i < min_j[k]) {
+                    min_d[k] = nd;
+                    min_j[k] = i;
+                }
+            } else if k < j && min_j[k] == j {
+                // Row k (i < k < j) lost its minimum column.
+                let (d, jj) = recompute_row(&dist, &active, k);
+                min_d[k] = d;
+                min_j[k] = jj;
+            }
+        }
+    }
+
+    // Assign dense cluster ids in slot order, matching the naive reference.
+    let mut assignment = vec![0usize; n];
+    let mut next = 0usize;
+    for (ci, cluster) in members.iter().enumerate() {
+        if !active[ci] {
+            continue;
+        }
+        for &p in cluster {
+            assignment[p] = next;
+        }
+        next += 1;
+    }
+    assignment
+}
+
+/// The previous full-square-`f64`-matrix implementation, kept as the
+/// reference the condensed representation is pinned against (8 bytes/pair
+/// steady state; prefer [`hac_average_linkage`]).
+pub fn hac_average_linkage_dense(points: &FeatureBlock, num_clusters: usize) -> Vec<usize> {
     assert!(!points.is_empty(), "cannot cluster an empty set");
     assert!(num_clusters > 0, "need at least one cluster");
     let n = points.rows();
@@ -316,6 +477,38 @@ mod tests {
     }
 
     #[test]
+    fn condensed_index_covers_the_upper_triangle() {
+        let n = 7;
+        let mut seen = vec![false; n * (n - 1) / 2];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = condensed_index(n, i, j);
+                assert!(!seen[idx], "({i},{j}) collided at {idx}");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every slot addressed");
+    }
+
+    /// The satellite equivalence test: the condensed f32 representation must
+    /// reproduce the dense f64 reference's merges/selections bit-for-bit at
+    /// n = 1,000 on a benchmark-shaped input (64-dim uniform features,
+    /// target 50 — the `bench_acquisition` HAC configuration).
+    #[test]
+    fn condensed_matches_dense_reference_at_n_1000() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (n, dim) = (1_000, 64);
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+        let points = FeatureBlock::from_vec(n, dim, data);
+        assert_eq!(
+            hac_average_linkage(&points, 50),
+            hac_average_linkage_dense(&points, 50),
+        );
+    }
+
+    #[test]
     fn agrees_with_kmeans_variant_on_budget_and_uniqueness() {
         let points = block(&three_blobs());
         let picks = cluster_margin_selection_hac(
@@ -405,6 +598,19 @@ mod tests {
                 let fast = hac_average_linkage(&points, clusters);
                 let slow = naive_hac(&points, clusters);
                 prop_assert_eq!(fast, slow);
+            }
+
+            #[test]
+            fn condensed_matches_dense_reference(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(-10.0f32..10.0, 6), 2..96),
+                clusters in 1usize..10,
+            ) {
+                let points = FeatureBlock::from_nested(&rows);
+                prop_assert_eq!(
+                    hac_average_linkage(&points, clusters),
+                    hac_average_linkage_dense(&points, clusters)
+                );
             }
 
             #[test]

@@ -11,6 +11,7 @@
 //!    the candidate extractors, fed with cross-validated macro F1 after each
 //!    labeling iteration, eliminates extractors until one remains.
 
+use crate::acquisition_index::{AcquisitionIndex, AcquisitionIndexStats};
 use crate::config::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
 use crate::feature_manager::FeatureManager;
 use crate::model_manager::ModelManager;
@@ -18,12 +19,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ve_al::{
-    cluster_margin_selection, coreset_selection, random_selection,
-    uncertainty_selection_from_probs, AcquisitionKind, ClusterMarginConfig, VeSample,
+    cluster_margin_selection, greedy_k_center, uncertainty_selection_from_probs, AcquisitionKind,
+    ClusterMarginConfig, VeSample,
 };
 use ve_bandit::{RisingBandit, RisingBanditConfig};
 use ve_features::ExtractorId;
-use ve_ml::FeatureBlockBuilder;
 use ve_storage::{LabelRecord, LabelStore};
 use ve_vidsim::{ClassId, TimeRange, VideoCorpus, VideoId};
 
@@ -45,6 +45,11 @@ pub struct ActiveLearningManager {
     config: VocalExploreConfig,
     sampling: SamplingState,
     features: FeatureState,
+    /// Persistent candidate state for active-learning selection, kept alive
+    /// across `Explore` calls and synced incrementally from the feature
+    /// store's change log (`None` until the first active selection; replaced
+    /// when the extractor or clip length changes).
+    index: Option<AcquisitionIndex>,
     rng: StdRng,
 }
 
@@ -82,8 +87,15 @@ impl ActiveLearningManager {
             config,
             sampling,
             features,
+            index: None,
             rng,
         }
+    }
+
+    /// Diagnostic counters of the persistent acquisition index, once an
+    /// active selection has built it.
+    pub fn index_stats(&self) -> Option<AcquisitionIndexStats> {
+        self.index.as_ref().map(AcquisitionIndex::stats)
     }
 
     /// Creates an ALM with a specific bandit configuration (used by the
@@ -233,10 +245,12 @@ impl ActiveLearningManager {
     ///
     /// * `target_label` — when the user called `Explore(label = a)`, the
     ///   rare-class uncertainty sampler is used for that class.
-    /// * `candidate_pool` — the videos whose features may be used for active
-    ///   learning without new extraction (under `VE-full` this is the eagerly
-    ///   extracted set; under the lazy strategies the ALM extends it by `X`
-    ///   videos on the spot).
+    ///
+    /// Active selections draw their candidates from the persistent
+    /// [`AcquisitionIndex`], which tracks every video the feature store
+    /// covers for the current extractor (under `VE-full` that is the eagerly
+    /// extracted set; under the lazy strategies the ALM extends it by `X`
+    /// videos on the spot).
     #[allow(clippy::too_many_arguments)]
     pub fn select_segments(
         &mut self,
@@ -247,7 +261,6 @@ impl ActiveLearningManager {
         budget: usize,
         clip_len: f64,
         target_label: Option<ClassId>,
-        candidate_pool: &[VideoId],
     ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
         let acquisition = match target_label {
             Some(_) => AcquisitionKind::Uncertainty,
@@ -274,7 +287,6 @@ impl ActiveLearningManager {
                 clip_len,
                 acquisition,
                 target_label,
-                candidate_pool,
             ),
         }
     }
@@ -293,7 +305,14 @@ impl ActiveLearningManager {
         windows
     }
 
-    /// Active-learning selection over a feature-bearing candidate pool.
+    /// Active-learning selection over the persistent acquisition index.
+    ///
+    /// Instead of re-assembling the candidate set from every pooled video on
+    /// each call, the index is synced incrementally: new extractions arrive
+    /// through the feature store's change log, freshly labeled windows are
+    /// masked in place, and the coreset coverage state absorbs only the Δ new
+    /// anchors. The old 2,000-window shuffle-truncate cap is replaced by the
+    /// index's deterministic cluster-sketch reduction.
     #[allow(clippy::too_many_arguments)]
     fn active_segments(
         &mut self,
@@ -305,65 +324,59 @@ impl ActiveLearningManager {
         clip_len: f64,
         acquisition: AcquisitionKind,
         target_label: Option<ClassId>,
-        candidate_pool: &[VideoId],
     ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
         let extractor = self.current_extractor();
 
-        // Assemble the candidate videos: start from the provided pool and, if
-        // it is too small (lazy strategies), extract features from X more
-        // randomly chosen unlabeled videos.
-        let mut pool: Vec<VideoId> = candidate_pool
-            .iter()
-            .copied()
-            .filter(|vid| corpus.get(*vid).is_some())
-            .collect();
+        // (Re)build the index when the extractor or clip length changed,
+        // then catch it up to the store and label state.
+        if !self
+            .index
+            .as_ref()
+            .is_some_and(|ix| ix.matches(extractor, clip_len))
+        {
+            self.index = Some(AcquisitionIndex::new(
+                extractor,
+                clip_len,
+                self.config.candidate_cap,
+            ));
+        }
+        self.index
+            .as_mut()
+            .expect("index just ensured")
+            .sync(fm, corpus, labels);
+
+        // Lazy extension: when the feature-bearing pool is too small (lazy
+        // strategies), extract X more randomly chosen videos on the spot and
+        // pull them into this call's candidates. Membership tests hit the
+        // index's hash map — O(1) per video instead of the old O(pool) scan.
         let mut extraction_secs = 0.0;
         let mut extracted_videos = 0;
         let desired = budget + self.config.extra_candidates_x;
-        if pool.len() < desired {
+        if self.index.as_ref().expect("index ensured").video_count() < desired {
+            let index = self.index.as_ref().expect("index ensured");
+            let missing = desired - index.video_count();
             let mut unexplored: Vec<VideoId> = corpus
                 .ids()
                 .into_iter()
-                .filter(|vid| !pool.contains(vid))
+                .filter(|vid| !index.contains_video(*vid))
                 .collect();
             unexplored.shuffle(&mut self.rng);
-            for vid in unexplored.into_iter().take(desired - pool.len()) {
+            for vid in unexplored.into_iter().take(missing) {
                 if let Some(clip) = corpus.get(vid) {
                     let cost = fm.ensure_clip(extractor, clip);
                     if cost > 0.0 {
                         extracted_videos += 1;
                         extraction_secs += cost;
                     }
-                    pool.push(vid);
                 }
             }
+            self.index
+                .as_mut()
+                .expect("index ensured")
+                .sync(fm, corpus, labels);
         }
 
-        // Candidate windows = unlabeled windows of the pooled videos. The
-        // window metadata is kept in a parallel array while the embeddings go
-        // straight into one contiguous block — rows are copied once from the
-        // store's zero-copy views, never through intermediate `Vec<f32>`s.
-        let mut meta: Vec<(VideoId, TimeRange)> = Vec::new();
-        let mut rows = FeatureBlockBuilder::new();
-        for vid in &pool {
-            let Some(clip) = corpus.get(*vid) else {
-                continue;
-            };
-            let windows = clip.num_windows(clip_len);
-            fm.with_video_features(extractor, corpus, *vid, |entry| {
-                for w in 0..windows {
-                    let range = TimeRange::new(w as f64 * clip_len, (w + 1) as f64 * clip_len);
-                    if labels.is_labeled(*vid, &range) {
-                        continue;
-                    }
-                    if let Some(i) = entry.window_for(&range) {
-                        meta.push((*vid, range));
-                        rows.push_row(entry.row(i));
-                    }
-                }
-            });
-        }
-        if meta.is_empty() {
+        if self.index.as_ref().expect("index ensured").unmasked_rows() == 0 {
             let picks = self.random_segments(corpus, labels, budget, clip_len);
             return (
                 picks,
@@ -374,51 +387,55 @@ impl ActiveLearningManager {
                 },
             );
         }
-        let mut features = rows.build();
-        // Cap the candidate-window count so per-call work stays bounded.
-        if meta.len() > 2_000 {
-            let mut keep: Vec<usize> = (0..meta.len()).collect();
-            keep.shuffle(&mut self.rng);
-            keep.truncate(2_000);
-            features = features.gather(&keep);
-            meta = keep.into_iter().map(|i| meta[i]).collect();
+
+        // Coreset coverage must absorb all labels collected so far before
+        // the eligible set is frozen (anchor lookups may extract labeled
+        // videos on demand; those extractions join the *next* call's
+        // candidates via the change log, exactly like the old per-call
+        // labeled-block assembly).
+        if acquisition == AcquisitionKind::Coreset {
+            self.index
+                .as_mut()
+                .expect("index ensured")
+                .sync_anchors(fm, corpus, labels);
         }
 
-        let indices = match acquisition {
+        let eligible = self.index.as_mut().expect("index ensured").eligible_rows();
+        let index = self.index.as_ref().expect("index ensured");
+        let indices: Vec<usize> = match acquisition {
             AcquisitionKind::Coreset => {
-                // Labeled features anchor the coverage set.
-                let mut labeled = FeatureBlockBuilder::new();
-                for r in labels.records() {
-                    fm.with_video_features(extractor, corpus, r.vid, |entry| {
-                        if let Some(i) = entry.window_for(&r.range) {
-                            labeled.push_row(entry.row(i));
-                        }
-                    });
-                }
-                let labeled = labeled.build();
-                coreset_selection(&features, &labeled, budget)
+                // Scratch coverage: the persistent state tracks labeled
+                // anchors only; this call's own greedy picks must not leak
+                // into the next iteration.
+                let mut coverage = index.coverage_for_call();
+                greedy_k_center(index.block(), &mut coverage, &eligible, budget)
             }
             AcquisitionKind::ClusterMargin => {
-                let probs = mm.predict_proba_batch(extractor, &features);
-                cluster_margin_selection(&features, &probs, budget, &ClusterMarginConfig::default())
+                let sub = index.block().gather(&eligible);
+                let probs = mm.predict_proba_batch(extractor, &sub);
+                cluster_margin_selection(&sub, &probs, budget, &ClusterMarginConfig::default())
+                    .into_iter()
+                    .map(|i| eligible[i])
+                    .collect()
             }
             AcquisitionKind::Uncertainty => {
                 let class = target_label.expect("uncertainty sampling needs a target label");
-                let probs = mm.predict_proba_batch(extractor, &features);
+                let sub = index.block().gather(&eligible);
+                let probs = mm.predict_proba_batch(extractor, &sub);
                 let (n_pos, n_neg) = labels.positive_negative_counts(class);
-                uncertainty_selection_from_probs(
-                    &probs,
-                    class,
-                    features.rows(),
-                    n_pos,
-                    n_neg,
-                    budget,
-                )
+                uncertainty_selection_from_probs(&probs, class, sub.rows(), n_pos, n_neg, budget)
+                    .into_iter()
+                    .map(|i| eligible[i])
+                    .collect()
             }
-            AcquisitionKind::Random => random_selection(features.rows(), budget, &mut self.rng),
+            // `select_segments` routes Random to `random_segments` before
+            // ever reaching the active path.
+            AcquisitionKind::Random => {
+                unreachable!("random sampling never reaches active_segments")
+            }
         };
 
-        let picks = indices.into_iter().map(|i| meta[i]).collect();
+        let picks = indices.into_iter().map(|i| index.meta_at(i)).collect();
         (
             picks,
             SelectionStats {
@@ -496,21 +513,17 @@ mod tests {
         let fx = fixture(1);
         let mut alm = ActiveLearningManager::new(fx.config.clone());
         assert_eq!(alm.current_acquisition(), AcquisitionKind::Random);
-        let (picks, stats) = alm.select_segments(
-            &fx.dataset.train,
-            &fx.fm,
-            &fx.mm,
-            &fx.labels,
-            5,
-            1.0,
-            None,
-            &[],
-        );
+        let (picks, stats) =
+            alm.select_segments(&fx.dataset.train, &fx.fm, &fx.mm, &fx.labels, 5, 1.0, None);
         assert_eq!(picks.len(), 5);
         assert_eq!(stats.acquisition, AcquisitionKind::Random);
         assert_eq!(
             stats.extraction_secs, 0.0,
             "random sampling needs no features"
+        );
+        assert!(
+            alm.index_stats().is_none(),
+            "random sampling must not build the acquisition index"
         );
         // Segments must be unlabeled and distinct.
         let unique: std::collections::HashSet<_> = picks
@@ -538,28 +551,15 @@ mod tests {
     #[test]
     fn active_selection_extracts_extra_candidates_when_pool_is_small() {
         let mut fx = fixture(3);
+        // Labels exist but nothing has been extracted yet: the index starts
+        // empty and lazy active learning must extract X candidate videos on
+        // the spot.
         label_some(&mut fx, 30);
-        fx.mm.train(
-            ExtractorId::Mvit,
-            &fx.dataset.train,
-            &fx.fm,
-            fx.labels.records(),
-            0,
-            None,
-        );
         let mut alm = ActiveLearningManager::new(fx.config.clone().with_sampling(
             crate::config::SamplingPolicy::Fixed(AcquisitionKind::ClusterMargin),
         ));
-        let (picks, stats) = alm.select_segments(
-            &fx.dataset.train,
-            &fx.fm,
-            &fx.mm,
-            &fx.labels,
-            5,
-            1.0,
-            None,
-            &[],
-        );
+        let (picks, stats) =
+            alm.select_segments(&fx.dataset.train, &fx.fm, &fx.mm, &fx.labels, 5, 1.0, None);
         assert_eq!(picks.len(), 5);
         assert_eq!(stats.acquisition, AcquisitionKind::ClusterMargin);
         assert!(
@@ -567,6 +567,14 @@ mod tests {
             "lazy AL must extract X videos"
         );
         assert!(stats.extraction_secs > 0.0);
+        let stats = alm
+            .index_stats()
+            .expect("active selection builds the index");
+        assert_eq!(
+            stats.videos,
+            5 + fx.config.extra_candidates_x,
+            "index covers exactly the lazily extracted pool"
+        );
     }
 
     #[test]
@@ -595,20 +603,13 @@ mod tests {
             ))
             .with_feature_selection(crate::config::FeatureSelectionPolicy::Fixed(extractor)),
         );
-        let (picks, stats) = alm.select_segments(
-            &fx.dataset.train,
-            &fx.fm,
-            &fx.mm,
-            &fx.labels,
-            5,
-            1.0,
-            None,
-            &pool,
-        );
+        let (picks, stats) =
+            alm.select_segments(&fx.dataset.train, &fx.fm, &fx.mm, &fx.labels, 5, 1.0, None);
         assert_eq!(picks.len(), 5);
         assert_eq!(stats.videos_extracted_for_call, 0);
         assert_eq!(stats.extraction_secs, 0.0);
-        // Picks must come from the pool.
+        // Picks must come from the eagerly covered pool (the only videos the
+        // acquisition index has ingested).
         for (vid, _) in &picks {
             assert!(pool.contains(vid));
         }
@@ -663,7 +664,6 @@ mod tests {
             5,
             1.0,
             Some(2),
-            &[],
         );
         assert_eq!(stats.acquisition, AcquisitionKind::Uncertainty);
         assert_eq!(picks.len(), 5);

@@ -119,6 +119,12 @@ pub struct VocalExploreConfig {
     /// Extra videos `X` processed when active learning needs a candidate
     /// pool and eager extraction is not available (VE-lazy variants).
     pub extra_candidates_x: usize,
+    /// Maximum candidate windows an active selection considers per call.
+    /// When the unlabeled pool exceeds this, the ALM's acquisition index
+    /// reduces it with a deterministic cluster sketch (round-robin across
+    /// feature-space clusters) instead of the old random shuffle-truncate,
+    /// so per-call work stays bounded without dropping whole regions.
+    pub candidate_cap: usize,
     /// Minimum number of labels before predictions are returned (the
     /// prototype waits for 5).
     pub min_labels_for_predictions: usize,
@@ -170,6 +176,7 @@ impl VocalExploreConfig {
             strategy: SchedulerStrategy::VeFull,
             preprocess: PreprocessPolicy::None,
             extra_candidates_x: 50,
+            candidate_cap: 2_000,
             min_labels_for_predictions: 5,
             feature_dim: ve_features::simulator::DEFAULT_SIM_DIM,
             train: TrainConfig::default(),
@@ -220,6 +227,16 @@ impl VocalExploreConfig {
     /// active learning under the lazy strategies.
     pub fn with_extra_candidates(mut self, x: usize) -> Self {
         self.extra_candidates_x = x;
+        self
+    }
+
+    /// Overrides the candidate-window cap of active selections.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` (selection needs at least one candidate).
+    pub fn with_candidate_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "candidate cap must be positive");
+        self.candidate_cap = cap;
         self
     }
 

@@ -69,6 +69,24 @@ impl FeatureManager {
         self.storage.with_features(|f| f.contains(extractor, vid))
     }
 
+    /// Atomic snapshot of the feature store's change log: the current
+    /// generation plus every mutation applied since `gen`, read under one
+    /// lock acquisition so a consumer can catch up without missing (or
+    /// double-seeing) concurrent extractions. This is the ALM's
+    /// `AcquisitionIndex` ingest feed.
+    pub fn store_changes_since(&self, gen: u64) -> (u64, Vec<ve_storage::FeatureStoreChange>) {
+        self.storage
+            .with_features(|f| (f.generation(), f.changes_since(gen).to_vec()))
+    }
+
+    /// Atomic snapshot of one extractor's covered videos (sorted) together
+    /// with the store generation the snapshot corresponds to — the
+    /// from-scratch rebuild feed of the `AcquisitionIndex`.
+    pub fn store_state_for(&self, extractor: ExtractorId) -> (u64, Vec<VideoId>) {
+        self.storage
+            .with_features(|f| (f.generation(), f.videos_with_features(extractor)))
+    }
+
     /// Videos with cached features for the given extractor.
     pub fn videos_with_features(&self, extractor: ExtractorId) -> Vec<VideoId> {
         self.storage

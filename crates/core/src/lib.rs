@@ -41,6 +41,7 @@
 //! }
 //! ```
 
+pub mod acquisition_index;
 pub mod alm;
 pub mod api;
 pub mod config;
@@ -50,6 +51,7 @@ pub mod model_manager;
 pub mod session;
 pub mod system;
 
+pub use acquisition_index::{AcquisitionIndex, AcquisitionIndexStats};
 pub use alm::ActiveLearningManager;
 pub use api::{ExploreBatch, Prediction, SegmentRef};
 pub use config::{

@@ -192,7 +192,9 @@ impl VocalExplore {
     ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
         assert!(clip_len > 0.0, "clip length must be positive");
         self.iteration += 1;
-        let pool = self.fm.videos_with_features(self.alm.current_extractor());
+        // The ALM's persistent acquisition index tracks the feature-bearing
+        // pool by itself (via the feature store's change log), so no
+        // per-call pool snapshot is assembled here anymore.
         self.alm.select_segments(
             &self.corpus,
             &self.fm,
@@ -201,7 +203,6 @@ impl VocalExplore {
             budget,
             clip_len,
             target_label,
-            &pool,
         )
     }
 

@@ -25,7 +25,7 @@
 //! therefore stable across machines and configurations.
 
 use crate::tensor::Matrix;
-use ve_sched::parallel::{par_chunks_mut, par_map};
+use ve_sched::parallel::{par_chunks_mut, par_map, par_map_tasks};
 
 /// A contiguous, row-major block of feature vectors with cached squared
 /// norms.
@@ -114,6 +114,24 @@ impl FeatureBlock {
     /// Iterates over row views.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
         (0..self.rows()).map(move |r| self.row(r))
+    }
+
+    /// Appends one row to the block, updating the cached norms. This is the
+    /// ingest path of persistent candidate indexes (the ALM's
+    /// `AcquisitionIndex`), which grow a long-lived block incrementally
+    /// instead of rebuilding it from scratch every call.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the block's dimensionality.
+    pub fn push_row(&mut self, row: &[f32]) {
+        self.data.push_row(row);
+        self.sq_norms.push(sq_norm(row));
+    }
+
+    /// Reserves capacity for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve_rows(additional);
+        self.sq_norms.reserve(additional);
     }
 
     /// Copies the selected rows into a new block (row `k` of the result is
@@ -337,6 +355,123 @@ impl Default for FeatureBlockBuilder {
     }
 }
 
+/// Items per argmax chunk. The boundaries are **fixed** (independent of the
+/// configured thread count): each chunk reports its local first-index-wins
+/// maximum and the chunk results are combined in ascending chunk order with a
+/// strict `>`, so the global winner is identical to a sequential ascending
+/// scan at any parallelism setting.
+const ARGMAX_CHUNK: usize = 4096;
+
+/// First-index-wins argmax over `values` (`None` when empty or when every
+/// value is `-∞`), chunk-parallel for large inputs.
+///
+/// This is the per-step selection scan of the greedy acquisition kernels
+/// (coreset's farthest-point step, k-means++ seeding): a sequential ascending
+/// scan with strict `>` replacement, fanned out over fixed-size chunks so a
+/// 20k-candidate pool uses the worker threads without changing the result.
+pub fn argmax_chunked(values: &[f32]) -> Option<usize> {
+    let scan = |start: usize, end: usize| {
+        let mut best = None;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in values[start..end].iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = Some(start + i);
+            }
+        }
+        best.map(|i| (i, best_v))
+    };
+    let num_chunks = values.len().div_ceil(ARGMAX_CHUNK);
+    if num_chunks <= 1 {
+        // One chunk: skip the fan-out bookkeeping entirely (identical
+        // result — a single chunk is already a plain ascending scan).
+        return scan(0, values.len()).map(|(i, _)| i);
+    }
+    let bests = par_map_tasks(num_chunks, |c| {
+        let start = c * ARGMAX_CHUNK;
+        scan(start, (start + ARGMAX_CHUNK).min(values.len()))
+    });
+    combine_chunk_maxima(bests)
+}
+
+/// [`argmax_chunked`] restricted to the `eligible` positions (ascending
+/// unique indices into `values`), skipping positions where `excluded` is
+/// set. Returns the winning *value index*, honoring first-eligible-wins
+/// ties.
+///
+/// # Panics
+/// Panics if an eligible index is out of range of `values` or `excluded`.
+pub fn argmax_chunked_filtered(
+    values: &[f32],
+    eligible: &[usize],
+    excluded: &[bool],
+) -> Option<usize> {
+    if eligible.len() == values.len() {
+        // `eligible` holds ascending unique indices into `values`, so a full
+        // count means it is exactly 0..n: scan the value slice directly and
+        // skip the index indirection (the common case for from-scratch
+        // callers like `coreset_selection`).
+        let scan = |start: usize, end: usize| {
+            let mut best = None;
+            let mut best_v = f32::NEG_INFINITY;
+            for (k, &v) in values[start..end].iter().enumerate() {
+                if !excluded[start + k] && v > best_v {
+                    best_v = v;
+                    best = Some(start + k);
+                }
+            }
+            best.map(|i| (i, best_v))
+        };
+        let num_chunks = values.len().div_ceil(ARGMAX_CHUNK);
+        if num_chunks <= 1 {
+            return scan(0, values.len()).map(|(i, _)| i);
+        }
+        let bests = par_map_tasks(num_chunks, |c| {
+            let start = c * ARGMAX_CHUNK;
+            scan(start, (start + ARGMAX_CHUNK).min(values.len()))
+        });
+        return combine_chunk_maxima(bests);
+    }
+    let scan = |start: usize, end: usize| {
+        let mut best = None;
+        let mut best_v = f32::NEG_INFINITY;
+        for &i in &eligible[start..end] {
+            if excluded[i] {
+                continue;
+            }
+            let v = values[i];
+            if v > best_v {
+                best_v = v;
+                best = Some(i);
+            }
+        }
+        best.map(|i| (i, best_v))
+    };
+    let num_chunks = eligible.len().div_ceil(ARGMAX_CHUNK);
+    if num_chunks <= 1 {
+        return scan(0, eligible.len()).map(|(i, _)| i);
+    }
+    let bests = par_map_tasks(num_chunks, |c| {
+        let start = c * ARGMAX_CHUNK;
+        scan(start, (start + ARGMAX_CHUNK).min(eligible.len()))
+    });
+    combine_chunk_maxima(bests)
+}
+
+/// Combines per-chunk `(index, value)` maxima in ascending chunk order with a
+/// strict `>`, preserving the first-index-wins tie-break.
+fn combine_chunk_maxima(bests: Vec<Option<(usize, f32)>>) -> Option<usize> {
+    let mut winner = None;
+    let mut winner_v = f32::NEG_INFINITY;
+    for (i, v) in bests.into_iter().flatten() {
+        if v > winner_v {
+            winner_v = v;
+            winner = Some(i);
+        }
+    }
+    winner
+}
+
 /// Chunked dot product: eight independent accumulators let the compiler keep
 /// eight FMA/SIMD chains in flight instead of one serial add chain. The
 /// `chunks_exact` walk is bounds-check-free, which is what lets LLVM
@@ -528,6 +663,87 @@ mod tests {
             single.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
             multi.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn push_row_grows_block_and_caches_norms() {
+        let mut block = FeatureBlock::empty(3);
+        block.reserve_rows(2);
+        block.push_row(&[1.0, 2.0, 2.0]);
+        block.push_row(&[0.0, 3.0, 4.0]);
+        assert_eq!(block.rows(), 2);
+        assert_eq!(block.row(1), &[0.0, 3.0, 4.0]);
+        assert_eq!(block.sq_norm(0), 9.0);
+        assert_eq!(block.sq_norm(1), 25.0);
+        // Pushed rows behave exactly like built rows in the kernels.
+        let rebuilt = FeatureBlock::from_nested(&[vec![1.0, 2.0, 2.0], vec![0.0, 3.0, 4.0]]);
+        assert_eq!(block, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn push_row_rejects_wrong_dim() {
+        FeatureBlock::empty(3).push_row(&[1.0]);
+    }
+
+    #[test]
+    fn argmax_chunked_matches_sequential_scan() {
+        let (_, block) = random_block(1, 9_001, 12);
+        let values = block.row(0);
+        let seq = values
+            .iter()
+            .enumerate()
+            .fold((None, f32::NEG_INFINITY), |(best, bv), (i, &v)| {
+                if v > bv {
+                    (Some(i), v)
+                } else {
+                    (best, bv)
+                }
+            })
+            .0;
+        assert_eq!(argmax_chunked(values), seq);
+        assert_eq!(argmax_chunked(&[]), None);
+        assert_eq!(argmax_chunked(&[f32::NEG_INFINITY]), None);
+        // Ties pick the first index, also across chunk boundaries.
+        let tied = vec![7.0f32; 10_000];
+        assert_eq!(argmax_chunked(&tied), Some(0));
+    }
+
+    #[test]
+    fn argmax_filtered_respects_eligibility_and_exclusion() {
+        let values = [1.0f32, 9.0, 3.0, 9.0, 2.0];
+        let all: Vec<usize> = (0..5).collect();
+        let mut excluded = vec![false; 5];
+        assert_eq!(argmax_chunked_filtered(&values, &all, &excluded), Some(1));
+        excluded[1] = true;
+        assert_eq!(argmax_chunked_filtered(&values, &all, &excluded), Some(3));
+        // Restricting eligibility skips the global maximum.
+        assert_eq!(
+            argmax_chunked_filtered(&values, &[0, 2, 4], &[false; 5]),
+            Some(2)
+        );
+        assert_eq!(argmax_chunked_filtered(&values, &[], &excluded), None);
+    }
+
+    #[test]
+    fn argmax_identical_across_thread_counts() {
+        let (_, block) = random_block(1, 30_000, 13);
+        let values = block.row(0);
+        let eligible: Vec<usize> = (0..values.len()).step_by(3).collect();
+        let excluded = vec![false; values.len()];
+        let _guard = ve_sched::parallel::test_parallelism_guard();
+        ve_sched::parallel::set_parallelism(1);
+        let single = (
+            argmax_chunked(values),
+            argmax_chunked_filtered(values, &eligible, &excluded),
+        );
+        ve_sched::parallel::set_parallelism(8);
+        let multi = (
+            argmax_chunked(values),
+            argmax_chunked_filtered(values, &eligible, &excluded),
+        );
+        ve_sched::parallel::set_parallelism(0);
+        assert_eq!(single, multi);
     }
 
     #[test]

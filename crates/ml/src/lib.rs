@@ -26,7 +26,9 @@ pub mod metrics;
 pub mod scaler;
 pub mod tensor;
 
-pub use block::{dot_fast, sq_norm, FeatureBlock, FeatureBlockBuilder};
+pub use block::{
+    argmax_chunked, argmax_chunked_filtered, dot_fast, sq_norm, FeatureBlock, FeatureBlockBuilder,
+};
 pub use crossval::{cross_validate, stratified_k_fold, CrossValConfig, FoldAssignment};
 pub use ewma::Ewma;
 pub use linear::{Classifier, LabelKind, OneVsRestModel, SoftmaxModel, TrainConfig, TrainedModel};

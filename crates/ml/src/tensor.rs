@@ -85,6 +85,21 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Appends one row to the matrix.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "row length does not match columns");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Reserves capacity for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
     /// Flat row-major data.
     pub fn as_slice(&self) -> &[f32] {
         &self.data

@@ -107,10 +107,41 @@ impl VideoFeatures {
     }
 }
 
-/// In-memory feature-vector store.
+/// One mutation of the [`FeatureStore`], as recorded in its change log.
+///
+/// Consumers that maintain derived state over the store (the ALM's
+/// `AcquisitionIndex`) replay these events instead of re-scanning every
+/// entry: an `Upsert` with `replaced == false` is a pure addition that can be
+/// ingested incrementally, while a replacement or an extractor drop
+/// invalidates whatever was derived from the overwritten rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureStoreChange {
+    /// `(extractor, vid)` was inserted (`replaced == false`) or overwritten
+    /// (`replaced == true`).
+    Upsert {
+        /// Extractor whose entry changed.
+        extractor: ExtractorId,
+        /// Video whose entry changed.
+        vid: VideoId,
+        /// Whether an existing entry was overwritten.
+        replaced: bool,
+    },
+    /// Every entry of one extractor was removed.
+    DropExtractor {
+        /// The dropped extractor.
+        extractor: ExtractorId,
+    },
+}
+
+/// In-memory feature-vector store with a change log.
+///
+/// The store's *generation* is the number of mutations applied so far; the
+/// change log records each one. [`FeatureStore::changes_since`] lets derived
+/// indexes catch up in O(Δ) instead of re-scanning the whole store.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureStore {
     by_key: HashMap<(ExtractorId, VideoId), VideoFeatures>,
+    log: Vec<FeatureStoreChange>,
 }
 
 impl FeatureStore {
@@ -119,19 +150,47 @@ impl FeatureStore {
         Self::default()
     }
 
+    /// The store's generation: the number of mutations applied so far. Each
+    /// mutation appends one [`FeatureStoreChange`] to the log, so a consumer
+    /// holding generation `g` can replay `changes_since(g)` to catch up.
+    pub fn generation(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The mutations applied since generation `gen` (oldest first).
+    ///
+    /// # Panics
+    /// Panics if `gen` is newer than the store's current generation.
+    pub fn changes_since(&self, gen: u64) -> &[FeatureStoreChange] {
+        &self.log[gen as usize..]
+    }
+
     /// Stores (replacing) the vectors of one video for one extractor,
     /// converting to the contiguous block representation.
     pub fn put(&mut self, extractor: ExtractorId, vid: VideoId, vectors: Vec<FeatureVector>) {
-        self.by_key.insert(
-            (extractor, vid),
-            VideoFeatures::from_vectors(extractor, vid, &vectors),
-        );
+        let replaced = self
+            .by_key
+            .insert(
+                (extractor, vid),
+                VideoFeatures::from_vectors(extractor, vid, &vectors),
+            )
+            .is_some();
+        self.log.push(FeatureStoreChange::Upsert {
+            extractor,
+            vid,
+            replaced,
+        });
     }
 
     /// Stores an already-built contiguous entry.
     pub fn put_block(&mut self, features: VideoFeatures) {
-        self.by_key
-            .insert((features.extractor, features.vid), features);
+        let (extractor, vid) = (features.extractor, features.vid);
+        let replaced = self.by_key.insert((extractor, vid), features).is_some();
+        self.log.push(FeatureStoreChange::Upsert {
+            extractor,
+            vid,
+            replaced,
+        });
     }
 
     /// Returns the contiguous windows of one video for one extractor, if
@@ -189,7 +248,12 @@ impl FeatureStore {
     pub fn drop_extractor(&mut self, extractor: ExtractorId) -> usize {
         let before = self.by_key.len();
         self.by_key.retain(|(e, _), _| *e != extractor);
-        before - self.by_key.len()
+        let dropped = before - self.by_key.len();
+        if dropped > 0 {
+            self.log
+                .push(FeatureStoreChange::DropExtractor { extractor });
+        }
+        dropped
     }
 }
 
@@ -334,6 +398,91 @@ mod tests {
         );
         assert_eq!(s.get(ExtractorId::R3d, VideoId(1)).unwrap().len(), 2);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn change_log_records_upserts_and_drops() {
+        let mut s = FeatureStore::new();
+        assert_eq!(s.generation(), 0);
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![fv(ExtractorId::R3d, 1, 0.0, 4)],
+        );
+        s.put(
+            ExtractorId::R3d,
+            VideoId(2),
+            vec![fv(ExtractorId::R3d, 2, 0.0, 4)],
+        );
+        assert_eq!(s.generation(), 2);
+        assert_eq!(
+            s.changes_since(0),
+            &[
+                FeatureStoreChange::Upsert {
+                    extractor: ExtractorId::R3d,
+                    vid: VideoId(1),
+                    replaced: false,
+                },
+                FeatureStoreChange::Upsert {
+                    extractor: ExtractorId::R3d,
+                    vid: VideoId(2),
+                    replaced: false,
+                },
+            ]
+        );
+        // A consumer that caught up sees only the delta.
+        let caught_up = s.generation();
+        s.put(
+            ExtractorId::R3d,
+            VideoId(1),
+            vec![fv(ExtractorId::R3d, 1, 0.0, 4)],
+        );
+        assert_eq!(
+            s.changes_since(caught_up),
+            &[FeatureStoreChange::Upsert {
+                extractor: ExtractorId::R3d,
+                vid: VideoId(1),
+                replaced: true,
+            }]
+        );
+        s.drop_extractor(ExtractorId::R3d);
+        assert_eq!(
+            s.changes_since(s.generation() - 1),
+            &[FeatureStoreChange::DropExtractor {
+                extractor: ExtractorId::R3d,
+            }]
+        );
+        // Dropping an extractor with no entries records nothing.
+        let gen = s.generation();
+        assert_eq!(s.drop_extractor(ExtractorId::R3d), 0);
+        assert_eq!(s.generation(), gen);
+    }
+
+    #[test]
+    fn put_block_logs_like_put() {
+        let mut s = FeatureStore::new();
+        let entry = VideoFeatures::from_vectors(
+            ExtractorId::Clip,
+            VideoId(4),
+            &[fv(ExtractorId::Clip, 4, 0.0, 2)],
+        );
+        s.put_block(entry.clone());
+        s.put_block(entry);
+        assert_eq!(
+            s.changes_since(0),
+            &[
+                FeatureStoreChange::Upsert {
+                    extractor: ExtractorId::Clip,
+                    vid: VideoId(4),
+                    replaced: false,
+                },
+                FeatureStoreChange::Upsert {
+                    extractor: ExtractorId::Clip,
+                    vid: VideoId(4),
+                    replaced: true,
+                },
+            ]
+        );
     }
 
     #[test]

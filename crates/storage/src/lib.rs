@@ -33,7 +33,7 @@ pub mod persist;
 pub mod wal;
 
 pub use error::StorageError;
-pub use feature_store::{FeatureStore, VideoFeatures};
+pub use feature_store::{FeatureStore, FeatureStoreChange, VideoFeatures};
 pub use labels::{LabelRecord, LabelStore};
 pub use metadata::{VideoMetadataStore, VideoRecord};
 pub use model_registry::{ModelRecord, ModelRegistry};
