@@ -117,6 +117,12 @@ pub struct AcquisitionIndex {
     /// anchor exists).
     coverage: Vec<f32>,
     sketch: Option<ClusterSketch>,
+    /// Row-identity epoch for positional caches layered on top of the index
+    /// (the ALM's `ProbabilityCache` keys on it). Bumped whenever existing
+    /// rows may have moved or changed — [`Self::rebuild`] and the
+    /// [`Self::merge`] splice — but *not* on tail appends, whose cached
+    /// prefix rows stay positionally valid.
+    epoch: u64,
 }
 
 impl AcquisitionIndex {
@@ -142,7 +148,13 @@ impl AcquisitionIndex {
             anchors: FeatureBlock::empty(0),
             coverage: Vec::new(),
             sketch: None,
+            epoch: 0,
         }
+    }
+
+    /// Current row-identity epoch (see the `epoch` field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether the index serves this `(extractor, clip_len)` pair.
@@ -261,6 +273,7 @@ impl AcquisitionIndex {
         self.anchors = FeatureBlock::empty(0);
         self.coverage.clear();
         self.sketch = None;
+        self.epoch += 1;
         self.needs_rebuild = false;
         self.ingest(vids, fm, corpus, labels);
     }
@@ -459,8 +472,10 @@ impl AcquisitionIndex {
         self.video_rows = video_rows;
         self.video_order = video_order;
         // Row positions shifted: the sketch's positional assignments are
-        // void. The next over-cap call refits from the merged rows.
+        // void (the next over-cap call refits from the merged rows), and so
+        // are any positional caches keyed on the epoch.
         self.sketch = None;
+        self.epoch += 1;
     }
 
     /// Masks windows covered by label records not yet applied (O(Δlabels ·
@@ -519,13 +534,23 @@ impl AcquisitionIndex {
     /// # Panics
     /// Panics on an empty index.
     pub fn coverage_for_call(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.coverage_for_call_into(&mut out);
+        out
+    }
+
+    /// [`Self::coverage_for_call`] writing into a caller-owned buffer, so the
+    /// ALM can reuse one scratch allocation across `select_segments` calls
+    /// instead of allocating a fresh coverage copy per call.
+    pub fn coverage_for_call_into(&self, out: &mut Vec<f32>) {
         if self.anchors.rows() == 0 {
             let centroid = self.block.centroid().expect("non-empty index");
-            let mut out = vec![0.0f32; self.block.rows()];
-            self.block.sq_distances_to(&centroid, &mut out);
-            out
+            out.clear();
+            out.resize(self.block.rows(), 0.0);
+            self.block.sq_distances_to(&centroid, out);
         } else {
-            self.coverage.clone()
+            out.clear();
+            out.extend_from_slice(&self.coverage);
         }
     }
 

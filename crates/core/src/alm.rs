@@ -15,6 +15,7 @@ use crate::acquisition_index::{AcquisitionIndex, AcquisitionIndexStats};
 use crate::config::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
 use crate::feature_manager::FeatureManager;
 use crate::model_manager::ModelManager;
+use crate::prob_cache::{ProbCacheStats, ProbabilityCache};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -50,6 +51,14 @@ pub struct ActiveLearningManager {
     /// store's change log (`None` until the first active selection; replaced
     /// when the extractor or clip length changes).
     index: Option<AcquisitionIndex>,
+    /// Model-version-aware probability rows layered over the index (see
+    /// [`crate::prob_cache`] for the keying/invalidation contract). Always
+    /// kept; `config.prob_cache` decides whether selections consult it.
+    prob_cache: ProbabilityCache,
+    /// Reused allocation for the per-call coreset-coverage copy consumed by
+    /// `greedy_k_center` (the call's greedy picks must not leak into the
+    /// persistent coverage, but the buffer itself can live across calls).
+    coverage_scratch: Vec<f32>,
     rng: StdRng,
 }
 
@@ -88,8 +97,16 @@ impl ActiveLearningManager {
             sampling,
             features,
             index: None,
+            prob_cache: ProbabilityCache::new(),
+            coverage_scratch: Vec::new(),
             rng,
         }
+    }
+
+    /// Hit/miss counters of the probability cache (for tests, CI and the
+    /// training benchmark).
+    pub fn prob_cache_stats(&self) -> ProbCacheStats {
+        self.prob_cache.stats()
     }
 
     /// Diagnostic counters of the persistent acquisition index, once an
@@ -339,6 +356,9 @@ impl ActiveLearningManager {
                 clip_len,
                 self.config.candidate_cap,
             ));
+            // A fresh index restarts its epoch counter, so the cached key
+            // could collide with it — drop the rows explicitly.
+            self.prob_cache.invalidate();
         }
         self.index
             .as_mut()
@@ -406,13 +426,26 @@ impl ActiveLearningManager {
             AcquisitionKind::Coreset => {
                 // Scratch coverage: the persistent state tracks labeled
                 // anchors only; this call's own greedy picks must not leak
-                // into the next iteration.
-                let mut coverage = index.coverage_for_call();
-                greedy_k_center(index.block(), &mut coverage, &eligible, budget)
+                // into the next iteration. The buffer is reused across calls.
+                let mut coverage = std::mem::take(&mut self.coverage_scratch);
+                index.coverage_for_call_into(&mut coverage);
+                let picks = greedy_k_center(index.block(), &mut coverage, &eligible, budget);
+                self.coverage_scratch = coverage;
+                picks
             }
             AcquisitionKind::ClusterMargin => {
                 let sub = index.block().gather(&eligible);
-                let probs = mm.predict_proba_batch(extractor, &sub);
+                let probs = if self.config.prob_cache {
+                    self.prob_cache.probs_for(
+                        index.block(),
+                        index.epoch(),
+                        &eligible,
+                        mm,
+                        extractor,
+                    )
+                } else {
+                    mm.predict_proba_batch(extractor, &sub)
+                };
                 cluster_margin_selection(&sub, &probs, budget, &ClusterMarginConfig::default())
                     .into_iter()
                     .map(|i| eligible[i])
@@ -420,13 +453,29 @@ impl ActiveLearningManager {
             }
             AcquisitionKind::Uncertainty => {
                 let class = target_label.expect("uncertainty sampling needs a target label");
-                let sub = index.block().gather(&eligible);
-                let probs = mm.predict_proba_batch(extractor, &sub);
+                let probs = if self.config.prob_cache {
+                    self.prob_cache.probs_for(
+                        index.block(),
+                        index.epoch(),
+                        &eligible,
+                        mm,
+                        extractor,
+                    )
+                } else {
+                    mm.predict_proba_batch(extractor, &index.block().gather(&eligible))
+                };
                 let (n_pos, n_neg) = labels.positive_negative_counts(class);
-                uncertainty_selection_from_probs(&probs, class, sub.rows(), n_pos, n_neg, budget)
-                    .into_iter()
-                    .map(|i| eligible[i])
-                    .collect()
+                uncertainty_selection_from_probs(
+                    &probs,
+                    class,
+                    eligible.len(),
+                    n_pos,
+                    n_neg,
+                    budget,
+                )
+                .into_iter()
+                .map(|i| eligible[i])
+                .collect()
             }
             // `select_segments` routes Random to `random_segments` before
             // ever reaching the active path.

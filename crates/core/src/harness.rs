@@ -143,6 +143,10 @@ pub struct SessionConfig {
     /// Evaluate macro F1 on the held-out set every `eval_every` iterations
     /// (1 = every iteration).
     pub eval_every: usize,
+    /// Class every `Explore` call targets (`Explore(label = a)`), routing
+    /// selection through the rare-class uncertainty sampler. `None` (the
+    /// default) runs untargeted exploration.
+    pub target_label: Option<ve_vidsim::ClassId>,
     /// The system configuration (sampling policy, feature policy, strategy,
     /// cost model, ...).
     pub system: VocalExploreConfig,
@@ -163,8 +167,15 @@ impl SessionConfig {
             clip_len: 1.0,
             label_noise: 0.0,
             eval_every: 1,
+            target_label: None,
             system,
         }
+    }
+
+    /// Targets every `Explore` call at one class (uncertainty sampling).
+    pub fn with_target_label(mut self, class: ve_vidsim::ClassId) -> Self {
+        self.target_label = Some(class);
+        self
     }
 
     /// Overrides the number of iterations.
@@ -349,7 +360,7 @@ impl SessionRunner {
                 .videos_with_features(extractor_before)
                 .into_iter()
                 .collect();
-            let batch = system.explore(cfg.batch_size, cfg.clip_len, None);
+            let batch = system.explore(cfg.batch_size, cfg.clip_len, cfg.target_label);
             let acquisition = batch.acquisition.unwrap_or(AcquisitionKind::Random);
             let stats = batch.stats.unwrap_or(SelectionStats {
                 acquisition,

@@ -48,6 +48,7 @@ pub mod config;
 pub mod feature_manager;
 pub mod harness;
 pub mod model_manager;
+pub mod prob_cache;
 pub mod session;
 pub mod system;
 
@@ -56,10 +57,12 @@ pub use alm::ActiveLearningManager;
 pub use api::{ExploreBatch, Prediction, SegmentRef};
 pub use config::{
     CostModel, FeatureSelectionPolicy, PreprocessPolicy, SamplingPolicy, VocalExploreConfig,
+    WarmStartConfig,
 };
 pub use feature_manager::FeatureManager;
 pub use harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
-pub use model_manager::ModelManager;
+pub use model_manager::{ModelManager, TrainingStats};
+pub use prob_cache::{ProbCacheStats, ProbabilityCache};
 pub use session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
 pub use system::VocalExplore;
 
@@ -68,6 +71,7 @@ pub mod prelude {
     pub use crate::api::{ExploreBatch, Prediction, SegmentRef};
     pub use crate::config::{
         CostModel, FeatureSelectionPolicy, PreprocessPolicy, SamplingPolicy, VocalExploreConfig,
+        WarmStartConfig,
     };
     pub use crate::harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
     pub use crate::session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};

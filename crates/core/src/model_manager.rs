@@ -10,11 +10,13 @@
 use crate::api::Prediction;
 use crate::config::VocalExploreConfig;
 use crate::feature_manager::FeatureManager;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::Arc;
 use ve_features::ExtractorId;
 use ve_ml::{
-    Classifier, CrossValConfig, OneVsRestModel, SoftmaxModel, StandardScaler, TrainedModel,
+    Classifier, CrossValConfig, OneVsRestModel, ScalerMoments, SoftmaxModel, StandardScaler,
+    TrainedModel,
 };
 use ve_storage::{LabelRecord, ModelRegistry};
 use ve_vidsim::{TaskKind, TimeRange, VideoCorpus, VideoId};
@@ -28,11 +30,57 @@ pub struct FittedModel {
     pub model: TrainedModel,
 }
 
+/// Counters of how training requests were satisfied (exposed for tests and
+/// the training benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainingStats {
+    /// Models trained from scratch (cold starts, including warm-state seeds).
+    pub cold_trains: u64,
+    /// Models fine-tuned from the previous iteration's weights.
+    pub warm_trains: u64,
+    /// Examples consumed by the most recent training call (for warm updates
+    /// this is `replay + Δ`, the point of the `warm-start/v1` contract).
+    pub last_examples: usize,
+}
+
+/// Per-extractor carry-over state of the warm-started trainer: the
+/// accumulated usable training set, its running scaler moments, and the last
+/// trained weights to fine-tune from.
+struct WarmState {
+    /// Feature dimensionality the state was seeded with (a mismatch — e.g. a
+    /// replaced store entry with different geometry — forces a cold restart).
+    dim: usize,
+    /// Every usable training row consumed so far, unscaled, in label-record
+    /// order.
+    examples: Vec<Vec<f32>>,
+    /// Single-label targets parallel to `examples` (empty for multi-label).
+    single: Vec<usize>,
+    /// Multi-label targets parallel to `examples` (empty for single-label).
+    multi: Vec<Vec<usize>>,
+    /// Running scaler moments over `examples` (O(Δ·dim) per update).
+    moments: ScalerMoments,
+    /// Label records already consumed from the label list.
+    consumed: usize,
+    /// Weights of the most recent model, the warm-start initializer.
+    model: TrainedModel,
+}
+
+/// How a warm training request was resolved.
+enum WarmOutcome {
+    /// Fine-tuned and published.
+    Published,
+    /// No usable warm state — the caller must run the cold path (which
+    /// re-seeds the state on success).
+    ColdStart,
+}
+
 /// Model Manager: one (versioned) linear model per candidate feature
 /// extractor.
 pub struct ModelManager {
     config: VocalExploreConfig,
     registry: RwLock<ModelRegistry<FittedModel>>,
+    warm: Mutex<HashMap<ExtractorId, WarmState>>,
+    stats: Mutex<TrainingStats>,
 }
 
 impl ModelManager {
@@ -41,7 +89,14 @@ impl ModelManager {
         Self {
             config,
             registry: RwLock::new(ModelRegistry::new()),
+            warm: Mutex::new(HashMap::new()),
+            stats: Mutex::new(TrainingStats::default()),
         }
+    }
+
+    /// Counters of how training requests were satisfied so far.
+    pub fn training_stats(&self) -> TrainingStats {
+        *self.stats.lock()
     }
 
     /// Whether a trained model exists for the extractor.
@@ -92,6 +147,12 @@ impl ModelManager {
     /// collected so far. Returns `false` when there are not yet enough labels
     /// (fewer than two distinct classes for single-label tasks, or fewer than
     /// two records overall).
+    ///
+    /// With [`crate::WarmStartConfig::enabled`] the call fine-tunes the
+    /// previous weights on the Δ new labels plus a bounded deterministic
+    /// replay sample (`warm-start/v1` tolerance contract); otherwise — and
+    /// for the first trainable call, or after a feature-geometry change —
+    /// it trains from scratch.
     pub fn train(
         &self,
         extractor: ExtractorId,
@@ -101,6 +162,13 @@ impl ModelManager {
         iteration: u32,
         cv_f1: Option<f64>,
     ) -> bool {
+        if self.config.warm_start.enabled {
+            if let WarmOutcome::Published =
+                self.warm_update(extractor, corpus, fm, labels, iteration, cv_f1)
+            {
+                return true;
+            }
+        }
         let (features, single, multi) = self.training_set(extractor, corpus, fm, labels);
         if features.len() < 2 {
             return false;
@@ -126,6 +194,28 @@ impl ModelManager {
                 &self.config.train,
             )),
         };
+        {
+            let mut stats = self.stats.lock();
+            stats.cold_trains += 1;
+            stats.last_examples = features.len();
+        }
+        if self.config.warm_start.enabled {
+            let dim = features[0].len();
+            let mut moments = ScalerMoments::new(dim);
+            moments.update(&features);
+            self.warm.lock().insert(
+                extractor,
+                WarmState {
+                    dim,
+                    examples: features.clone(),
+                    single,
+                    multi,
+                    moments,
+                    consumed: labels.len(),
+                    model: model.clone(),
+                },
+            );
+        }
         self.registry.write().publish(
             extractor,
             features.len(),
@@ -134,6 +224,103 @@ impl ModelManager {
             Arc::new(FittedModel { scaler, model }),
         );
         true
+    }
+
+    /// Attempts a warm (fine-tuning) update for the extractor. Only runs when
+    /// a previous warm state exists and is compatible with the new Δ labels;
+    /// every incompatibility (rewound label list, changed feature geometry,
+    /// task mismatch) discards the state and reports
+    /// [`WarmOutcome::ColdStart`] so the caller re-seeds from scratch.
+    fn warm_update(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+        iteration: u32,
+        cv_f1: Option<f64>,
+    ) -> WarmOutcome {
+        let mut states = self.warm.lock();
+        let Some(state) = states.get_mut(&extractor) else {
+            return WarmOutcome::ColdStart;
+        };
+        if labels.len() < state.consumed {
+            states.remove(&extractor);
+            return WarmOutcome::ColdStart;
+        }
+        // Collect the Δ usable examples with the exact filtering rules of
+        // `training_set` so cold and warm consume the same record stream.
+        let (d_features, d_single, d_multi) =
+            self.training_set(extractor, corpus, fm, &labels[state.consumed..]);
+        if d_features.iter().any(|f| f.len() != state.dim) {
+            states.remove(&extractor);
+            return WarmOutcome::ColdStart;
+        }
+        let old_len = state.examples.len();
+        state.moments.update(&d_features);
+        state.examples.extend(d_features);
+        state.single.extend(d_single);
+        state.multi.extend(d_multi);
+        state.consumed = labels.len();
+        // Fine-tune set: a deterministic evenly-strided replay sample over
+        // the older examples (bounded by `replay_cap`) plus every Δ example,
+        // ascending — per-train cost is O(replay_cap + Δ) regardless of how
+        // many labels the session has accumulated.
+        let cap = self.config.warm_start.replay_cap.max(1);
+        let mut idx: Vec<usize> = if old_len <= cap {
+            (0..old_len).collect()
+        } else {
+            (0..cap).map(|i| i * old_len / cap).collect()
+        };
+        idx.extend(old_len..state.examples.len());
+        let scaler = state.moments.scaler();
+        let tune: Vec<Vec<f32>> = idx
+            .iter()
+            .map(|&i| scaler.transform(&state.examples[i]))
+            .collect();
+        let model = match (&state.model, self.config.task) {
+            (TrainedModel::Softmax(init), TaskKind::SingleLabel) => {
+                let targets: Vec<usize> = idx.iter().map(|&i| state.single[i]).collect();
+                TrainedModel::Softmax(SoftmaxModel::fit_warm(
+                    &tune,
+                    &targets,
+                    self.config.num_classes,
+                    &self.config.train,
+                    init,
+                ))
+            }
+            (TrainedModel::OneVsRest(init), TaskKind::MultiLabel) => {
+                let targets: Vec<Vec<usize>> =
+                    idx.iter().map(|&i| state.multi[i].clone()).collect();
+                TrainedModel::OneVsRest(OneVsRestModel::fit_warm(
+                    &tune,
+                    &targets,
+                    self.config.num_classes,
+                    &self.config.train,
+                    init,
+                ))
+            }
+            _ => {
+                states.remove(&extractor);
+                return WarmOutcome::ColdStart;
+            }
+        };
+        state.model = model.clone();
+        let trained_on = state.examples.len();
+        drop(states);
+        {
+            let mut stats = self.stats.lock();
+            stats.warm_trains += 1;
+            stats.last_examples = idx.len();
+        }
+        self.registry.write().publish(
+            extractor,
+            trained_on,
+            iteration,
+            cv_f1,
+            Arc::new(FittedModel { scaler, model }),
+        );
+        WarmOutcome::Published
     }
 
     /// Predictions for a video segment from the latest model of the given
@@ -326,6 +513,15 @@ impl ModelManager {
     pub fn latest(&self, extractor: ExtractorId) -> Option<Arc<FittedModel>> {
         self.registry.read().latest(extractor).map(|(_, m)| m)
     }
+
+    /// The latest fitted model together with its registry version (the
+    /// probability cache keys on the version).
+    pub fn latest_versioned(&self, extractor: ExtractorId) -> Option<(u64, Arc<FittedModel>)> {
+        self.registry
+            .read()
+            .latest(extractor)
+            .map(|(rec, m)| (rec.version, m))
+    }
 }
 
 #[cfg(test)]
@@ -499,5 +695,117 @@ mod tests {
         assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, Some(0.5)));
         assert_eq!(mm.models_trained(), 2);
         assert!(mm.latest(ExtractorId::R3d).is_some());
+    }
+
+    /// Same corpus/labels as `setup`, but with a warm-start-enabled manager.
+    fn warm_setup(n_labels: usize) -> (Dataset, FeatureManager, ModelManager, Vec<LabelRecord>) {
+        let (ds, fm, _, labels) = setup(n_labels);
+        let cfg =
+            VocalExploreConfig::for_dataset(&ds, 21).with_warm_start(crate::WarmStartConfig {
+                enabled: true,
+                replay_cap: 64,
+            });
+        (ds, fm, ModelManager::new(cfg), labels)
+    }
+
+    #[test]
+    fn warm_training_fine_tunes_with_bounded_examples() {
+        let (ds, fm, mm, labels) = warm_setup(90);
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..70], 0, None));
+        let after_cold = mm.training_stats();
+        assert_eq!((after_cold.cold_trains, after_cold.warm_trains), (1, 0));
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        let stats = mm.training_stats();
+        assert_eq!((stats.cold_trains, stats.warm_trains), (1, 1));
+        // Warm update consumed replay (≤ 64) + Δ (20 records), not all 90.
+        assert!(
+            stats.last_examples <= 64 + 20,
+            "warm update must be O(replay_cap + Δ), consumed {}",
+            stats.last_examples
+        );
+        assert_eq!(mm.models_trained(), 2);
+        // Version advanced: the probability cache keys on this.
+        assert_eq!(
+            mm.latest_versioned(ExtractorId::R3d).map(|(v, _)| v),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn warm_training_is_deterministic() {
+        // warm-start/v1: the weights are a deterministic function of the
+        // training-call history.
+        let probes: Vec<Vec<Prediction>> = (0..2)
+            .map(|_| {
+                let (ds, fm, mm, labels) = warm_setup(90);
+                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..60], 0, None));
+                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..75], 1, None));
+                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 2, None));
+                let clip = &ds.train.videos()[95];
+                mm.predict(
+                    ExtractorId::R3d,
+                    &ds.train,
+                    &fm,
+                    clip.id,
+                    &TimeRange::new(0.0, 1.0),
+                )
+            })
+            .collect();
+        assert_eq!(probes[0], probes[1]);
+    }
+
+    #[test]
+    fn warm_quality_stays_within_tolerance_of_cold() {
+        // warm-start/v1 pins quality, not bits: after the same label stream,
+        // the fine-tuned model's held-out accuracy must stay within 0.15 of
+        // the from-scratch model's.
+        let (ds, fm, cold_mm, labels) = setup(90);
+        assert!(cold_mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        let (_, _, warm_mm, _) = warm_setup(90);
+        assert!(warm_mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..50], 0, None));
+        for (i, upto) in [60, 70, 80, 90].into_iter().enumerate() {
+            assert!(warm_mm.train(
+                ExtractorId::R3d,
+                &ds.train,
+                &fm,
+                &labels[..upto],
+                i as u32 + 1,
+                None
+            ));
+        }
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        let accuracy = |mm: &ModelManager| {
+            let clips: Vec<_> = ds.train.videos().iter().skip(90).take(40).collect();
+            let correct = clips
+                .iter()
+                .filter(|clip| {
+                    let range = TimeRange::new(0.0, 1.0);
+                    let truth = oracle.label(&ds.train, clip.id, &range);
+                    let preds = mm.predict(ExtractorId::R3d, &ds.train, &fm, clip.id, &range);
+                    preds.first().map(|p| p.class) == truth.first().copied()
+                })
+                .count();
+            correct as f64 / clips.len() as f64
+        };
+        let cold = accuracy(&cold_mm);
+        let warm = accuracy(&warm_mm);
+        assert!(
+            warm >= cold - 0.15,
+            "warm accuracy {warm:.3} fell more than 0.15 below cold {cold:.3}"
+        );
+    }
+
+    #[test]
+    fn warm_state_survives_empty_delta_and_rewinds_to_cold() {
+        let (ds, fm, mm, labels) = warm_setup(70);
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        // No new labels: replay-only fine-tune still publishes a version.
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert_eq!(mm.training_stats().warm_trains, 1);
+        // A rewound (shorter) label list discards the state and cold-starts.
+        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..40], 2, None));
+        let stats = mm.training_stats();
+        assert_eq!((stats.cold_trains, stats.warm_trains), (2, 1));
+        assert_eq!(mm.models_trained(), 3);
     }
 }

@@ -1,0 +1,303 @@
+//! Model-version-aware probability cache.
+//!
+//! Cluster-Margin and Uncertainty selection score the candidate set with
+//! `predict_proba_batch` on every `explore` call, even though between two
+//! calls the model often has not changed and the candidate index grew by only
+//! a handful of appended rows. The [`ProbabilityCache`] makes that inference
+//! incremental: it stores one probability row per candidate-index row,
+//! positionally parallel to the [`FeatureBlock`] it was computed from, and
+//! recomputes only the rows that are not yet cached.
+//!
+//! # Keying and invalidation contract
+//!
+//! The cache key is `(model version, index epoch)`:
+//!
+//! * **Model version** is the [`ve_storage::ModelRegistry`] version of the
+//!   extractor's latest model. Any publish bumps it, so a retrain invalidates
+//!   the cache wholesale — cached rows from an older model are never served.
+//! * **Index epoch** is [`crate::AcquisitionIndex::epoch`], bumped whenever
+//!   existing rows may have moved (rebuild, merge splice) but *not* on tail
+//!   appends. On an unchanged epoch the cached prefix stays positionally
+//!   valid and only appended (or newly requested) rows are computed.
+//! * The ALM additionally calls [`ProbabilityCache::invalidate`] whenever it
+//!   replaces the index object (extractor or clip-length switch): a fresh
+//!   index restarts its epoch counter, so the epoch alone cannot distinguish
+//!   two different indexes.
+//!
+//! # Determinism contract
+//!
+//! **Bit-identical.** Each cached row is produced by exactly the computation
+//! `predict_proba(scaler.transform(row))` that
+//! [`crate::ModelManager::predict_proba_batch`] runs — per-row inference is
+//! independent of batch composition and of `compute_threads` — so selections
+//! driven by cached probabilities equal the uncached ones bit for bit. The
+//! interleaving property tests in `tests/acquisition_index_equivalence.rs`
+//! and `tests/session_cache_equivalence.rs` pin this.
+
+use crate::model_manager::ModelManager;
+use ve_features::ExtractorId;
+use ve_ml::{Classifier, FeatureBlock, FeatureBlockBuilder};
+
+/// Hit/miss accounting of the cache (exposed through the ALM for tests, CI
+/// and the training benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbCacheStats {
+    /// Requested rows served from the cache.
+    pub hit_rows: u64,
+    /// Requested rows computed (and then cached) on demand.
+    pub miss_rows: u64,
+    /// Wholesale invalidations (key change or explicit reset).
+    pub invalidations: u64,
+}
+
+/// Positional probability rows for one `(model version, index epoch)` pair
+/// (see module docs for the contract).
+#[derive(Debug, Default)]
+pub struct ProbabilityCache {
+    /// `(model version, index epoch)` the cached rows belong to.
+    key: Option<(u64, u64)>,
+    /// Probability-row width (the model's class count).
+    num_classes: usize,
+    /// `rows × num_classes` probabilities, parallel to the index block.
+    probs: Vec<f32>,
+    /// Per-row validity, parallel to the index block.
+    valid: Vec<bool>,
+    stats: ProbCacheStats,
+}
+
+impl ProbabilityCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> ProbCacheStats {
+        self.stats
+    }
+
+    /// Drops every cached row. Called by the ALM when it replaces its index
+    /// object, because a fresh index restarts the epoch counter and could
+    /// otherwise collide with the cached key.
+    pub fn invalidate(&mut self) {
+        if self.key.is_some() {
+            self.stats.invalidations += 1;
+        }
+        self.key = None;
+        self.probs.clear();
+        self.valid.clear();
+    }
+
+    /// Probability rows for `eligible` (ascending row indices into `block`),
+    /// gathered into a fresh `eligible.len() × num_classes` block — the same
+    /// shape `predict_proba_batch(block.gather(eligible))` would produce, and
+    /// bit-identical to it. Returns an empty block when the extractor has no
+    /// model yet (matching `predict_proba_batch` on a missing model; nothing
+    /// is cached in that case).
+    pub fn probs_for(
+        &mut self,
+        block: &FeatureBlock,
+        epoch: u64,
+        eligible: &[usize],
+        mm: &ModelManager,
+        extractor: ExtractorId,
+    ) -> FeatureBlock {
+        let Some((version, fitted)) = mm.latest_versioned(extractor) else {
+            return FeatureBlock::empty(0);
+        };
+        let key = (version, epoch);
+        if self.key != Some(key) {
+            if self.key.is_some() {
+                self.stats.invalidations += 1;
+            }
+            self.key = Some(key);
+            self.num_classes = fitted.model.num_classes();
+            self.probs.clear();
+            self.valid.clear();
+        }
+        // Tail appends since the last call: grow the arrays, new rows invalid.
+        if self.valid.len() < block.rows() {
+            self.valid.resize(block.rows(), false);
+            self.probs.resize(block.rows() * self.num_classes, 0.0);
+        }
+        let missing: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|&r| !self.valid[r])
+            .collect();
+        self.stats.hit_rows += (eligible.len() - missing.len()) as u64;
+        self.stats.miss_rows += missing.len() as u64;
+        if !missing.is_empty() {
+            // Exactly the per-row computation of `predict_proba_batch`, so
+            // cached and uncached probabilities are bit-identical.
+            let rows = ve_sched::parallel::par_map(missing.len(), |i| {
+                fitted
+                    .model
+                    .predict_proba(&fitted.scaler.transform(block.row(missing[i])))
+            });
+            for (&r, row) in missing.iter().zip(&rows) {
+                self.probs[r * self.num_classes..(r + 1) * self.num_classes].copy_from_slice(row);
+                self.valid[r] = true;
+            }
+        }
+        let mut out = FeatureBlockBuilder::with_capacity(eligible.len(), self.num_classes);
+        for &r in eligible {
+            out.push_row(&self.probs[r * self.num_classes..(r + 1) * self.num_classes]);
+        }
+        out.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VocalExploreConfig;
+    use crate::feature_manager::FeatureManager;
+    use ve_features::FeatureSimulator;
+    use ve_storage::{LabelRecord, StorageManager};
+    use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle, TaskKind, TimeRange};
+
+    fn fixture() -> (Dataset, FeatureManager, ModelManager, FeatureBlock) {
+        let ds = Dataset::scaled(DatasetName::Deer, 0.15, 33);
+        let sim = FeatureSimulator::new(DatasetName::Deer, 9, 33);
+        let fm = FeatureManager::new(sim, StorageManager::new());
+        let cfg = VocalExploreConfig::for_dataset(&ds, 33);
+        let mm = ModelManager::new(cfg);
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        let labels: Vec<LabelRecord> = ds
+            .train
+            .videos()
+            .iter()
+            .take(50)
+            .map(|clip| {
+                let range = TimeRange::new(0.0, 1.0);
+                LabelRecord {
+                    vid: clip.id,
+                    range,
+                    classes: oracle.label(&ds.train, clip.id, &range),
+                    iteration: 0,
+                }
+            })
+            .collect();
+        assert!(mm.train(
+            ve_features::ExtractorId::R3d,
+            &ds.train,
+            &fm,
+            &labels,
+            0,
+            None
+        ));
+        let block = FeatureBlock::from_nested(
+            &ds.train
+                .videos()
+                .iter()
+                .skip(50)
+                .take(40)
+                .map(|clip| {
+                    fm.feature_for(
+                        ve_features::ExtractorId::R3d,
+                        &ds.train,
+                        clip.id,
+                        &TimeRange::new(0.0, 1.0),
+                    )
+                    .unwrap()
+                    .data
+                })
+                .collect::<Vec<_>>(),
+        );
+        (ds, fm, mm, block)
+    }
+
+    #[test]
+    fn cached_probs_are_bit_identical_to_uncached() {
+        let (_ds, _fm, mm, block) = fixture();
+        let e = ve_features::ExtractorId::R3d;
+        let eligible: Vec<usize> = (0..block.rows()).filter(|r| r % 3 != 1).collect();
+        let uncached = mm.predict_proba_batch(e, &block.gather(&eligible));
+        let mut cache = ProbabilityCache::new();
+        let first = cache.probs_for(&block, 0, &eligible, &mm, e);
+        let second = cache.probs_for(&block, 0, &eligible, &mm, e);
+        assert_eq!(uncached.as_slice(), first.as_slice(), "cold fill");
+        assert_eq!(uncached.as_slice(), second.as_slice(), "cache hit");
+        let stats = cache.stats();
+        assert_eq!(stats.miss_rows, eligible.len() as u64);
+        assert_eq!(stats.hit_rows, eligible.len() as u64);
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn partial_overlap_recomputes_only_new_rows() {
+        let (_ds, _fm, mm, block) = fixture();
+        let e = ve_features::ExtractorId::R3d;
+        let mut cache = ProbabilityCache::new();
+        let first: Vec<usize> = (0..20).collect();
+        cache.probs_for(&block, 0, &first, &mm, e);
+        let wider: Vec<usize> = (0..30).collect();
+        let got = cache.probs_for(&block, 0, &wider, &mm, e);
+        let stats = cache.stats();
+        assert_eq!(stats.miss_rows, 30, "20 cold + 10 new");
+        assert_eq!(stats.hit_rows, 20);
+        let want = mm.predict_proba_batch(e, &block.gather(&wider));
+        assert_eq!(want.as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn version_bump_and_epoch_bump_invalidate() {
+        let (ds, fm, mm, block) = fixture();
+        let e = ve_features::ExtractorId::R3d;
+        let eligible: Vec<usize> = (0..block.rows()).collect();
+        let mut cache = ProbabilityCache::new();
+        cache.probs_for(&block, 0, &eligible, &mm, e);
+        // Epoch bump (index rebuild/merge) drops every cached row.
+        cache.probs_for(&block, 1, &eligible, &mm, e);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().miss_rows, 2 * eligible.len() as u64);
+        // Retrain bumps the model version: cached rows are never served
+        // from the older model.
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        let labels: Vec<LabelRecord> = ds
+            .train
+            .videos()
+            .iter()
+            .take(60)
+            .map(|clip| {
+                let range = TimeRange::new(0.0, 1.0);
+                LabelRecord {
+                    vid: clip.id,
+                    range,
+                    classes: oracle.label(&ds.train, clip.id, &range),
+                    iteration: 1,
+                }
+            })
+            .collect();
+        assert!(mm.train(e, &ds.train, &fm, &labels, 1, None));
+        let got = cache.probs_for(&block, 1, &eligible, &mm, e);
+        assert_eq!(cache.stats().invalidations, 2);
+        let want = mm.predict_proba_batch(e, &block.gather(&eligible));
+        assert_eq!(want.as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn no_model_yields_empty_block_and_caches_nothing() {
+        let (_ds, _fm, mm, block) = fixture();
+        let mut cache = ProbabilityCache::new();
+        let got = cache.probs_for(&block, 0, &[0, 1], &mm, ve_features::ExtractorId::Mvit);
+        assert!(got.is_empty());
+        assert_eq!(cache.stats(), ProbCacheStats::default());
+    }
+
+    #[test]
+    fn explicit_invalidate_resets_rows() {
+        let (_ds, _fm, mm, block) = fixture();
+        let e = ve_features::ExtractorId::R3d;
+        let mut cache = ProbabilityCache::new();
+        let eligible: Vec<usize> = (0..10).collect();
+        cache.probs_for(&block, 0, &eligible, &mm, e);
+        cache.invalidate();
+        cache.probs_for(&block, 0, &eligible, &mm, e);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.miss_rows, 20, "everything recomputed after reset");
+        assert_eq!(stats.hit_rows, 0);
+    }
+}

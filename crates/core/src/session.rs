@@ -87,6 +87,9 @@ pub struct AsyncSessionOutcome {
     pub executor: ExecutorStats,
     /// The extractor used for predictions at the end.
     pub final_extractor: ExtractorId,
+    /// Hit/miss counters of the ALM's probability cache over the session
+    /// (all zero when `prob_cache` is disabled or no active selection ran).
+    pub prob_cache: crate::prob_cache::ProbCacheStats,
     /// The `time_scale` the session ran at.
     pub time_scale: f64,
 }
@@ -235,7 +238,8 @@ impl AsyncSessionRunner {
             // candidate extraction inside sleeps its scaled GPU cost, so it
             // lands in the visible window for the lazy strategies).
             sleep_scaled(cfg.batch_size as f64 * cfg.system.costs.select_secs, scale);
-            let (picks, stats) = system.sample_segments(cfg.batch_size, cfg.clip_len, None);
+            let (picks, stats) =
+                system.sample_segments(cfg.batch_size, cfg.clip_len, cfg.target_label);
             // Model inference fans out as critical tasks — the one task class
             // the API response genuinely blocks on.
             let infer_secs = cfg.system.costs.infer_secs;
@@ -360,6 +364,7 @@ impl AsyncSessionRunner {
             labels: system.label_records(),
             executor: executor.stats(),
             final_extractor: system.current_extractor(),
+            prob_cache: system.alm().prob_cache_stats(),
             time_scale: scale,
         }
     }

@@ -16,6 +16,12 @@
 //! Both must return the same picks and the same selection stats, for
 //! Coreset, Cluster-Margin, and rare-class Uncertainty, with the candidate
 //! cap set low enough that the cluster-sketch reduction is exercised too.
+//!
+//! The incremental ALM keeps the model-version-aware `ProbabilityCache` at
+//! its default (enabled) while the from-scratch oracle runs with the cache
+//! disabled, so every property here simultaneously proves the cache's
+//! bit-identical contract: cached probability rows must never change a
+//! selection relative to plain `predict_proba_batch`.
 
 use proptest::prelude::*;
 use ve_al::AcquisitionKind;
@@ -188,8 +194,10 @@ fn run_interleaving(
                     target,
                 );
                 // From-scratch oracle: a new ALM whose index rebuilds from
-                // the current store snapshot and full label list.
-                let mut fresh = ActiveLearningManager::new(cfg.clone());
+                // the current store snapshot and full label list, with the
+                // probability cache disabled (cached vs uncached must agree
+                // bit for bit).
+                let mut fresh = ActiveLearningManager::new(cfg.clone().with_prob_cache(false));
                 let (fresh_picks, fresh_stats) = fresh.select_segments(
                     &dataset.train,
                     &fm,
@@ -278,7 +286,7 @@ fn replaced_entries_and_extractor_drops_rebuild_to_from_scratch_state() {
     let compare = |incremental: &mut ActiveLearningManager, labels: &LabelStore| {
         let (picks, stats) =
             incremental.select_segments(&dataset.train, &fm, &mm, labels, BUDGET, CLIP_LEN, None);
-        let mut fresh = ActiveLearningManager::new(cfg.clone());
+        let mut fresh = ActiveLearningManager::new(cfg.clone().with_prob_cache(false));
         let (fresh_picks, fresh_stats) =
             fresh.select_segments(&dataset.train, &fm, &mm, labels, BUDGET, CLIP_LEN, None);
         assert_eq!(picks, fresh_picks, "picks diverged after invalidation");
@@ -334,4 +342,58 @@ fn replaced_entries_and_extractor_drops_rebuild_to_from_scratch_state() {
         picks.iter().all(|(vid, _)| survivor_set.contains(vid)),
         "picks must come from the re-extracted pool: {picks:?}"
     );
+}
+
+/// Deterministic hit/miss accounting of the probability cache across a small
+/// session: consecutive explores on an unchanged model serve rows from the
+/// cache, a retrain invalidates wholesale.
+#[test]
+fn prob_cache_hits_between_trains_and_invalidates_on_retrain() {
+    let dataset = dataset();
+    let cfg = config(AcquisitionKind::ClusterMargin);
+    let fm = FeatureManager::new(
+        FeatureSimulator::new(DatasetName::Deer, cfg.num_classes, 5),
+        StorageManager::new(),
+    );
+    let mm = ModelManager::new(cfg.clone());
+    let mut labels = LabelStore::new();
+    let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+    let mut alm = ActiveLearningManager::new(cfg.clone());
+
+    let mut extracted: Vec<VideoId> = Vec::new();
+    for clip in extraction_plan(dataset, &extracted, 12) {
+        fm.ensure_clip(EXTRACTOR, clip);
+        extracted.push(clip.id);
+    }
+    for &vid in extracted.iter().take(8) {
+        let range = TimeRange::new(0.0, CLIP_LEN);
+        labels.add(LabelRecord {
+            vid,
+            range,
+            classes: oracle.label(&dataset.train, vid, &range),
+            iteration: 0,
+        });
+    }
+    assert!(mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 0, None));
+
+    let explore = |alm: &mut ActiveLearningManager, labels: &LabelStore| {
+        alm.select_segments(&dataset.train, &fm, &mm, labels, BUDGET, CLIP_LEN, None)
+    };
+    explore(&mut alm, &labels);
+    let cold = alm.prob_cache_stats();
+    assert!(cold.miss_rows > 0, "first explore fills the cache");
+    assert_eq!(cold.hit_rows, 0);
+
+    // Same model, same index: the second explore is all hits.
+    explore(&mut alm, &labels);
+    let warm = alm.prob_cache_stats();
+    assert_eq!(warm.miss_rows, cold.miss_rows, "no new rows computed");
+    assert!(warm.hit_rows > 0, "unchanged model version must serve hits");
+
+    // A retrain bumps the model version: the next explore recomputes.
+    assert!(mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 1, None));
+    explore(&mut alm, &labels);
+    let after = alm.prob_cache_stats();
+    assert!(after.invalidations > warm.invalidations, "version bump");
+    assert!(after.miss_rows > warm.miss_rows, "rows recomputed");
 }

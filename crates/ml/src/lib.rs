@@ -35,5 +35,5 @@ pub use linear::{Classifier, LabelKind, OneVsRestModel, SoftmaxModel, TrainConfi
 pub use metrics::{
     accuracy, confusion_matrix, macro_f1, macro_f1_multilabel, per_class_f1, ClassificationReport,
 };
-pub use scaler::StandardScaler;
+pub use scaler::{ScalerMoments, StandardScaler};
 pub use tensor::Matrix;

@@ -43,6 +43,11 @@ pub struct TrainConfig {
     /// Stop early when the relative improvement of the epoch loss drops below
     /// this tolerance.
     pub tolerance: f64,
+    /// Epoch budget of warm-started fine-tuning passes
+    /// ([`SoftmaxModel::fit_warm`] / [`OneVsRestModel::fit_warm`]): starting
+    /// from a previous model's weights needs far fewer passes than the
+    /// from-scratch budget.
+    pub warm_epochs: usize,
 }
 
 impl Default for TrainConfig {
@@ -54,6 +59,7 @@ impl Default for TrainConfig {
             batch_size: 64,
             seed: 0,
             tolerance: 1e-4,
+            warm_epochs: 30,
         }
     }
 }
@@ -106,6 +112,55 @@ impl SoftmaxModel {
         num_classes: usize,
         cfg: &TrainConfig,
     ) -> Self {
+        Self::fit_impl(features, labels, num_classes, cfg, cfg.epochs, None)
+    }
+
+    /// Fine-tunes `init`'s weights on (typically a small subset of) the
+    /// training data for `cfg.warm_epochs` passes instead of training from
+    /// zeros for `cfg.epochs` — the Model Manager's warm-start path. With a
+    /// zero warm-epoch budget the init model is returned unchanged.
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs as [`SoftmaxModel::fit`], or when
+    /// `init` does not match `num_classes` / the feature dimensionality.
+    pub fn fit_warm(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &TrainConfig,
+        init: &SoftmaxModel,
+    ) -> Self {
+        assert_eq!(init.num_classes, num_classes, "init class-count mismatch");
+        assert!(!features.is_empty(), "cannot train on an empty set");
+        assert_eq!(init.dim, features[0].len(), "init dimension mismatch");
+        Self::fit_impl(
+            features,
+            labels,
+            num_classes,
+            cfg,
+            cfg.warm_epochs,
+            Some((init.weights.clone(), init.bias.clone())),
+        )
+    }
+
+    /// The `num_classes × dim` weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-class bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    fn fit_impl(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &TrainConfig,
+        epochs: usize,
+        init: Option<(Matrix, Vec<f32>)>,
+    ) -> Self {
         assert!(!features.is_empty(), "cannot train on an empty set");
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         assert!(num_classes >= 2, "need at least two classes");
@@ -119,14 +174,14 @@ impl SoftmaxModel {
             "label out of range"
         );
 
-        let mut weights = Matrix::zeros(num_classes, dim);
-        let mut bias = vec![0.0f32; num_classes];
+        let (mut weights, mut bias) =
+            init.unwrap_or_else(|| (Matrix::zeros(num_classes, dim), vec![0.0f32; num_classes]));
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = features.len();
         let mut order: Vec<usize> = (0..n).collect();
         let mut prev_loss = f64::INFINITY;
 
-        for _epoch in 0..cfg.epochs {
+        for _epoch in 0..epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             for chunk in order.chunks(cfg.batch_size.max(1)) {
@@ -220,6 +275,54 @@ impl OneVsRestModel {
         num_classes: usize,
         cfg: &TrainConfig,
     ) -> Self {
+        Self::fit_impl(features, label_sets, num_classes, cfg, cfg.epochs, None)
+    }
+
+    /// Fine-tunes `init`'s heads for `cfg.warm_epochs` passes instead of
+    /// training from zeros — the multi-label side of the Model Manager's
+    /// warm-start path.
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs as [`OneVsRestModel::fit`], or when
+    /// `init` does not match `num_classes` / the feature dimensionality.
+    pub fn fit_warm(
+        features: &[Vec<f32>],
+        label_sets: &[Vec<usize>],
+        num_classes: usize,
+        cfg: &TrainConfig,
+        init: &OneVsRestModel,
+    ) -> Self {
+        assert_eq!(init.num_classes, num_classes, "init class-count mismatch");
+        assert!(!features.is_empty(), "cannot train on an empty set");
+        assert_eq!(init.dim, features[0].len(), "init dimension mismatch");
+        Self::fit_impl(
+            features,
+            label_sets,
+            num_classes,
+            cfg,
+            cfg.warm_epochs,
+            Some((init.weights.clone(), init.bias.clone())),
+        )
+    }
+
+    /// The `num_classes × dim` weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-class bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    fn fit_impl(
+        features: &[Vec<f32>],
+        label_sets: &[Vec<usize>],
+        num_classes: usize,
+        cfg: &TrainConfig,
+        epochs: usize,
+        init: Option<(Matrix, Vec<f32>)>,
+    ) -> Self {
         assert!(!features.is_empty(), "cannot train on an empty set");
         assert_eq!(features.len(), label_sets.len());
         assert!(num_classes >= 1);
@@ -238,12 +341,12 @@ impl OneVsRestModel {
             }
         }
 
-        let mut weights = Matrix::zeros(num_classes, dim);
-        let mut bias = vec![0.0f32; num_classes];
+        let (mut weights, mut bias) =
+            init.unwrap_or_else(|| (Matrix::zeros(num_classes, dim), vec![0.0f32; num_classes]));
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..n).collect();
 
-        for _epoch in 0..cfg.epochs {
+        for _epoch in 0..epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size.max(1)) {
                 let mut grad_w = Matrix::zeros(num_classes, dim);
@@ -523,5 +626,84 @@ mod tests {
         let a = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
         let b = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
         assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    fn warm_fit_with_zero_epochs_returns_init_unchanged() {
+        let (xs, ys) = blob_dataset(30, &[[0.0, 0.0], [4.0, 4.0]], 0.7, 7);
+        let cfg = TrainConfig::default();
+        let cold = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
+        let frozen = TrainConfig {
+            warm_epochs: 0,
+            ..cfg
+        };
+        let warm = SoftmaxModel::fit_warm(&xs, &ys, 2, &frozen, &cold);
+        assert_eq!(warm.weights().as_slice(), cold.weights().as_slice());
+        assert_eq!(warm.bias(), cold.bias());
+    }
+
+    #[test]
+    fn warm_fit_is_deterministic_and_keeps_accuracy() {
+        let (xs, ys) = blob_dataset(50, &[[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]], 0.7, 8);
+        let cfg = TrainConfig::default();
+        // Cold model on the first two thirds, warm fine-tune on a small
+        // mixed subset including the last third.
+        let split = xs.len() * 2 / 3;
+        let cold = SoftmaxModel::fit(&xs[..split], &ys[..split], 3, &cfg);
+        let tune_x: Vec<Vec<f32>> = xs[split - 20..].to_vec();
+        let tune_y: Vec<usize> = ys[split - 20..].to_vec();
+        let a = SoftmaxModel::fit_warm(&tune_x, &tune_y, 3, &cfg, &cold);
+        let b = SoftmaxModel::fit_warm(&tune_x, &tune_y, 3, &cfg, &cold);
+        assert_eq!(
+            a.predict_proba(&xs[0]),
+            b.predict_proba(&xs[0]),
+            "warm fit must be deterministic given seed and init"
+        );
+        let accuracy = |m: &SoftmaxModel| {
+            xs.iter()
+                .zip(&ys)
+                .filter(|(x, &y)| m.predict(x) == y)
+                .count() as f64
+                / xs.len() as f64
+        };
+        assert!(
+            accuracy(&a) > 0.9,
+            "warm fine-tune must not destroy the separable-blob fit: {}",
+            accuracy(&a)
+        );
+    }
+
+    #[test]
+    fn one_vs_rest_warm_fit_refines_heads() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs = Vec::new();
+        let mut ls = Vec::new();
+        for _ in 0..300 {
+            let x: f32 = rng.gen::<f32>() * 4.0 - 2.0;
+            let y: f32 = rng.gen::<f32>() * 4.0 - 2.0;
+            let mut labels = Vec::new();
+            if x > 0.0 {
+                labels.push(0);
+            }
+            if y > 0.0 {
+                labels.push(1);
+            }
+            xs.push(vec![x, y]);
+            ls.push(labels);
+        }
+        let cfg = TrainConfig::default();
+        let cold = OneVsRestModel::fit(&xs[..200], &ls[..200], 2, &cfg);
+        let warm = OneVsRestModel::fit_warm(&xs[180..], &ls[180..], 2, &cfg, &cold);
+        let p = warm.predict_proba(&[1.5, -1.5]);
+        assert!(p[0] > 0.7 && p[1] < 0.3, "p={p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "init dimension mismatch")]
+    fn warm_fit_rejects_dimension_mismatch() {
+        let (xs, ys) = blob_dataset(10, &[[0.0, 0.0], [4.0, 4.0]], 0.5, 10);
+        let cfg = TrainConfig::default();
+        let cold = SoftmaxModel::fit(&xs, &ys, 2, &cfg);
+        SoftmaxModel::fit_warm(&[vec![0.0; 3]], &[0], 2, &cfg, &cold);
     }
 }

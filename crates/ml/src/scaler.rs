@@ -87,6 +87,92 @@ impl StandardScaler {
     }
 }
 
+/// Running per-dimension moments (count, sum, sum of squares in `f64`) from
+/// which a [`StandardScaler`] can be derived at any point.
+///
+/// The warm-started Model Manager feeds each iteration's Δ new training rows
+/// into the accumulator instead of re-fitting the scaler on the full training
+/// set, so the scaler update is O(Δ · dim) rather than O(total · dim). The
+/// derived statistics use the one-pass variance formula; they agree with the
+/// two-pass [`StandardScaler::fit`] up to floating-point rounding, which is
+/// covered by the warm-start tolerance contract (`warm-start/v1`), not the
+/// bit-identical one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalerMoments {
+    count: f64,
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
+}
+
+impl ScalerMoments {
+    /// An empty accumulator for `dim`-dimensional rows.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            count: 0.0,
+            sum: vec![0.0; dim],
+            sumsq: vec![0.0; dim],
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Rows absorbed so far.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Absorbs one row.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn update_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.sum.len(), "dimension mismatch");
+        self.count += 1.0;
+        for ((s, q), &v) in self.sum.iter_mut().zip(&mut self.sumsq).zip(row) {
+            let v = v as f64;
+            *s += v;
+            *q += v * v;
+        }
+    }
+
+    /// Absorbs a batch of rows.
+    pub fn update(&mut self, rows: &[Vec<f32>]) {
+        for row in rows {
+            self.update_row(row);
+        }
+    }
+
+    /// Derives the scaler for the rows absorbed so far, with the same
+    /// zero-variance floor as [`StandardScaler::fit`].
+    ///
+    /// # Panics
+    /// Panics when no row has been absorbed yet.
+    pub fn scaler(&self) -> StandardScaler {
+        assert!(self.count > 0.0, "cannot derive a scaler from zero rows");
+        let n = self.count;
+        let mean: Vec<f32> = self.sum.iter().map(|&s| (s / n) as f32).collect();
+        let std: Vec<f32> = self
+            .sumsq
+            .iter()
+            .zip(&self.sum)
+            .map(|(&q, &s)| {
+                let m = s / n;
+                let var = (q / n - m * m).max(0.0);
+                let sd = var.sqrt();
+                if sd < 1e-8 {
+                    1.0
+                } else {
+                    sd as f32
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +222,43 @@ mod tests {
     fn rejects_wrong_dimension_on_transform() {
         let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
         scaler.transform(&[1.0]);
+    }
+
+    #[test]
+    fn moments_scaler_matches_two_pass_fit() {
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![i as f32 * 0.7 - 3.0, (i % 7) as f32 * 10.0, 5.0])
+            .collect();
+        let two_pass = StandardScaler::fit(&rows);
+        let mut moments = ScalerMoments::new(3);
+        moments.update(&rows);
+        let one_pass = moments.scaler();
+        assert_eq!(moments.count(), 40);
+        for probe in [&rows[0], &rows[17], &rows[39]] {
+            for (a, b) in two_pass
+                .transform(probe)
+                .iter()
+                .zip(one_pass.transform(probe))
+            {
+                assert!((a - b).abs() < 1e-4, "two-pass {a} vs one-pass {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_are_order_and_batching_invariant() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, -(i as f32) * 2.0]).collect();
+        let mut all_at_once = ScalerMoments::new(2);
+        all_at_once.update(&rows);
+        let mut incremental = ScalerMoments::new(2);
+        incremental.update(&rows[..7]);
+        incremental.update(&rows[7..]);
+        assert_eq!(all_at_once, incremental);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn moments_reject_empty_scaler_derivation() {
+        ScalerMoments::new(2).scaler();
     }
 }

@@ -32,6 +32,11 @@ pub struct ModelRecord {
 pub struct ModelRegistry<M> {
     latest: HashMap<ExtractorId, (ModelRecord, Arc<M>)>,
     history: Vec<ModelRecord>,
+    /// Per-extractor index into the history: every version ever published for
+    /// that extractor, ascending. Keeps per-extractor lookups (latest version,
+    /// publication count, history walks) O(1)/O(own-history) instead of
+    /// scanning the global record list.
+    by_extractor: HashMap<ExtractorId, Vec<u64>>,
     next_version: u64,
 }
 
@@ -40,6 +45,7 @@ impl<M> Default for ModelRegistry<M> {
         Self {
             latest: HashMap::new(),
             history: Vec::new(),
+            by_extractor: HashMap::new(),
             next_version: 0,
         }
     }
@@ -72,8 +78,26 @@ impl<M> ModelRegistry<M> {
             cv_f1,
         };
         self.history.push(record.clone());
+        self.by_extractor
+            .entry(extractor)
+            .or_default()
+            .push(version);
         self.latest.insert(extractor, (record, model));
         version
+    }
+
+    /// The version of the most recently published model for an extractor
+    /// (O(1) — the probability cache keys on this).
+    pub fn latest_version(&self, extractor: ExtractorId) -> Option<u64> {
+        self.latest.get(&extractor).map(|(rec, _)| rec.version)
+    }
+
+    /// Every version ever published for an extractor, ascending (retired
+    /// models included — retirement drops the handle, not the history).
+    pub fn versions_for(&self, extractor: ExtractorId) -> &[u64] {
+        self.by_extractor
+            .get(&extractor)
+            .map_or(&[], |versions| versions.as_slice())
     }
 
     /// The most recently published model for an extractor.
@@ -152,6 +176,48 @@ mod tests {
         assert_eq!(r.staleness(ExtractorId::Mvit, 20), Some(0));
         assert_eq!(r.staleness(ExtractorId::Mvit, 10), Some(0), "saturating");
         assert_eq!(r.staleness(ExtractorId::R3d, 25), None);
+    }
+
+    #[test]
+    fn versions_stay_globally_monotonic_across_interleaved_extractors() {
+        // Regression test for the per-extractor index: version numbers must
+        // stay globally monotonic no matter how publishes interleave across
+        // extractors (with retirement in between), and the per-extractor
+        // index must partition the global history without gaps or reuse.
+        let mut r: ModelRegistry<DummyModel> = ModelRegistry::new();
+        let extractors = [
+            ExtractorId::R3d,
+            ExtractorId::Clip,
+            ExtractorId::R3d,
+            ExtractorId::Mvit,
+            ExtractorId::Clip,
+            ExtractorId::R3d,
+        ];
+        for (i, &e) in extractors.iter().enumerate() {
+            let v = r.publish(e, i, i as u32, None, Arc::new(DummyModel(i as u32)));
+            assert_eq!(v, i as u64, "publish {i} must get the next global version");
+            if i == 3 {
+                r.retire(ExtractorId::Clip);
+            }
+        }
+        // Global history is strictly increasing.
+        assert!(r
+            .history()
+            .windows(2)
+            .all(|w| w[1].version == w[0].version + 1));
+        // Per-extractor views agree with the history and stay ascending.
+        assert_eq!(r.versions_for(ExtractorId::R3d), &[0, 2, 5]);
+        assert_eq!(r.versions_for(ExtractorId::Clip), &[1, 4]);
+        assert_eq!(r.versions_for(ExtractorId::Mvit), &[3]);
+        assert!(r.versions_for(ExtractorId::Random).is_empty());
+        // `latest_version` is the tail of the per-extractor index.
+        assert_eq!(r.latest_version(ExtractorId::R3d), Some(5));
+        assert_eq!(r.latest_version(ExtractorId::Clip), Some(4));
+        assert_eq!(r.latest_version(ExtractorId::Random), None);
+        // A fresh publish after retirement continues the global counter.
+        let v = r.publish(ExtractorId::Clip, 9, 9, None, Arc::new(DummyModel(9)));
+        assert_eq!(v, 6);
+        assert_eq!(r.versions_for(ExtractorId::Clip), &[1, 4, 6]);
     }
 
     #[test]
