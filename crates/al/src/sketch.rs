@@ -162,7 +162,7 @@ impl ClusterSketch {
         // Stable sort: equal sizes keep ascending cluster-id order.
         clusters.sort_by_key(|c| c.len());
 
-        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        let total: usize = clusters.iter().map(|c| c.len()).sum::<usize>();
         let take = cap.min(total);
         let mut selected = Vec::with_capacity(take);
         let mut cursor = vec![0usize; clusters.len()];

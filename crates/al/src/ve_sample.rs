@@ -118,7 +118,7 @@ impl VeSample {
     /// and returns the acquisition function to use for the *next* `Explore`
     /// call.
     pub fn observe(&mut self, class_counts: &[u64]) -> AcquisitionKind {
-        let total: u64 = class_counts.iter().sum();
+        let total: u64 = class_counts.iter().sum::<u64>();
         if self.detector.observe(class_counts) && self.switched_at.is_none() {
             self.switched_at = Some(total as usize);
         }

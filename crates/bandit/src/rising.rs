@@ -1,5 +1,7 @@
 //! The rising-bandit elimination algorithm.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use std::collections::HashMap;
 use std::hash::Hash;
 use ve_ml::Ewma;

@@ -178,6 +178,9 @@ impl Condvar {
 }
 
 #[cfg(test)]
+// Raw threads on purpose: the lock primitives need real cross-thread
+// contention, and this compat shim sits below the executor.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::Arc;

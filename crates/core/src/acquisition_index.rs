@@ -51,6 +51,8 @@
 //! * anchors ingest lazily (only coreset calls pay for them), but always
 //!   catch up to the full label list before selection.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::feature_manager::FeatureManager;
 use std::collections::HashMap;
 use ve_al::{ClusterSketch, ClusterSketchConfig};
@@ -423,7 +425,7 @@ impl AcquisitionIndex {
                 .find(|i| !i.block.is_empty())
                 .map_or(0, |i| i.block.dim())
         };
-        let added_rows: usize = staged.iter().map(|i| i.block.rows()).sum();
+        let added_rows: usize = staged.iter().map(|i| i.block.rows()).sum::<usize>();
         let total_rows = self.meta.len() + added_rows;
         let mut data: Vec<f32> = Vec::with_capacity(total_rows * dim);
         let mut meta = Vec::with_capacity(total_rows);

@@ -130,7 +130,11 @@ impl FeatureManager {
     /// Ensures features for a set of clips; returns total GPU seconds spent
     /// (cache hits are free).
     pub fn ensure_clips(&self, extractor: ExtractorId, clips: &[&VideoClip]) -> f64 {
-        clips.iter().map(|c| self.ensure_clip(extractor, c)).sum()
+        clips
+            .iter()
+            .map(|c| self.ensure_clip(extractor, c))
+            // ve-lint: allow(float-reduction-order) -- slice iteration order is fixed
+            .sum::<f64>()
     }
 
     /// Returns the cached feature vector covering `range` within `vid`,

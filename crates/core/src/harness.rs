@@ -10,6 +10,8 @@
 //! adds the latency accounting of Section 4 (Serial / `VE-partial` /
 //! `VE-full`), and records one [`IterationRecord`] per step.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::alm::SelectionStats;
 use crate::config::{PreprocessPolicy, VocalExploreConfig};
 use crate::model_manager::FittedModel;
@@ -87,6 +89,7 @@ pub fn iteration_costs_for_call(
         .first()
         .map(|clip| system.feature_manager().extraction_cost(current, clip))
         .unwrap_or(0.25);
+    // ve-lint: allow(nondeterministic-iteration) -- counting matching elements; the count is order-insensitive
     let videos_needing_extraction = batch_videos
         .iter()
         .filter(|vid| !pool_before.contains(vid))

@@ -7,6 +7,8 @@
 //! model is training, the MM serves requests for labels using the previously
 //! trained model" (Section 2.3).
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::api::Prediction;
 use crate::config::VocalExploreConfig;
 use crate::feature_manager::FeatureManager;
@@ -347,11 +349,10 @@ impl ModelManager {
             .enumerate()
             .map(|(class, &probability)| Prediction { class, probability })
             .collect();
-        predictions.sort_by(|a, b| {
-            b.probability
-                .partial_cmp(&a.probability)
-                .expect("finite probabilities")
-        });
+        // `total_cmp` keeps the task path panic-free: `predict` runs inside
+        // executor-submitted closures, where a NaN probability must degrade
+        // to a deterministic (if useless) order, not poison the task.
+        predictions.sort_by(|a, b| b.probability.total_cmp(&a.probability));
         predictions
     }
 

@@ -128,18 +128,27 @@ impl AsyncSessionOutcome {
         self.iterations
             .iter()
             .map(|r| r.measured_visible_secs)
-            .sum()
+            // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
+            .sum::<f64>()
     }
 
     /// Total modeled visible latency over the session (virtual seconds).
     pub fn total_modeled_visible(&self) -> f64 {
-        self.iterations.iter().map(|r| r.modeled_visible_secs).sum()
+        self.iterations
+            .iter()
+            .map(|r| r.modeled_visible_secs)
+            // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
+            .sum::<f64>()
     }
 
     /// Total wall-clock the boundary barriers waited beyond the labeling
     /// windows (background work that did not fit).
     pub fn total_spill_wall(&self) -> f64 {
-        self.iterations.iter().map(|r| r.spill_wall_secs).sum()
+        self.iterations
+            .iter()
+            .map(|r| r.spill_wall_secs)
+            // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
+            .sum::<f64>()
     }
 }
 
@@ -228,6 +237,7 @@ impl AsyncSessionRunner {
 
         for iteration in 1..=cfg.iterations {
             // ---- Visible phase: the Explore call. ----
+            // ve-lint: allow(wall-clock-in-logic) -- measurement is the product: this timer *is* the reported visible latency
             let visible_timer = Instant::now();
             if serial {
                 // Serial runs the deferred work synchronously inside the API
@@ -273,6 +283,7 @@ impl AsyncSessionRunner {
             }
 
             // ---- Labeling window: deferred work overlaps think time. ----
+            // ve-lint: allow(wall-clock-in-logic) -- measurement is the product: times the labeling window budget
             let window_timer = Instant::now();
             let active = system.alm().active_extractors();
             let batch_videos: std::collections::HashSet<VideoId> =
@@ -341,6 +352,7 @@ impl AsyncSessionRunner {
             // window is *spill* — it delays later background work, never the
             // API response, but we must drain it so the next selection sees a
             // deterministic state.
+            // ve-lint: allow(wall-clock-in-logic) -- measurement is the product: times barrier spill beyond the window
             let barrier_timer = Instant::now();
             executor.wait_idle();
             let spill_wall = barrier_timer.elapsed().as_secs_f64();

@@ -8,6 +8,8 @@
 //! twice yields bit-identical vectors (a frozen pretrained model is a pure
 //! function of its input).
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::extractors::{ExtractorId, ExtractorSpec};
 use crate::profiles::SignalProfile;
 use rand::rngs::StdRng;

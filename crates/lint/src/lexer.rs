@@ -1,0 +1,575 @@
+//! A lightweight, self-contained Rust lexer.
+//!
+//! `ve-lint` runs in an environment with no crate-registry access, so it
+//! cannot lean on `syn`/`proc-macro2`. The rules only need a faithful token
+//! stream — not a parse tree — and the hard part of tokenizing Rust is
+//! exactly the part that breaks naive regex linters:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, arbitrarily many hashes) that may contain
+//!   `//`, `unwrap()`, or anything else that must **not** be matched;
+//! * nested block comments (`/* /* … */ */`);
+//! * the `'a'` char-literal vs `'a` lifetime ambiguity;
+//! * byte/raw-byte strings and raw identifiers (`r#fn`).
+//!
+//! Comments are kept as tokens (they carry the suppression annotations);
+//! every other token records enough text and position for the rules to
+//! pattern-match and report precise locations.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, with `r#` stripped).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// Character literal `'x'` (text includes the quotes).
+    CharLit,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// Byte literal `b'x'`.
+    ByteLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// `// …` line comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` block comment, nesting already resolved.
+    BlockComment,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`. The lexer is total: any input produces a token stream
+/// (unterminated literals run to end of file rather than erroring), which is
+/// the right trade-off for a linter that must never crash on the code it
+/// checks.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while !cur.eof() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = cur.peek(0).expect("not eof");
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+        if c == 'r' {
+            let mut hashes = 0usize;
+            while cur.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(1 + hashes) == Some('"') {
+                tokens.push(lex_raw_string(&mut cur, line, col, 0));
+                continue;
+            }
+            if hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier r#name: strip the prefix, keep the name.
+                cur.bump();
+                cur.bump();
+                tokens.push(lex_ident(&mut cur, line, col));
+                continue;
+            }
+        }
+        // Byte strings / byte chars: b"…", br#"…"#, b'x'.
+        if c == 'b' {
+            if cur.peek(1) == Some('"') {
+                cur.bump(); // consume b; lex_plain_string sees the quote
+                let mut t = lex_plain_string(&mut cur, line, col);
+                t.text.insert(0, 'b');
+                tokens.push(t);
+                continue;
+            }
+            if cur.peek(1) == Some('r') {
+                let mut hashes = 0usize;
+                while cur.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if cur.peek(2 + hashes) == Some('"') {
+                    tokens.push(lex_raw_string(&mut cur, line, col, 1));
+                    continue;
+                }
+            }
+            if cur.peek(1) == Some('\'') {
+                cur.bump(); // b
+                let mut t = lex_char_or_lifetime(&mut cur, line, col);
+                t.kind = TokenKind::ByteLit;
+                t.text.insert(0, 'b');
+                tokens.push(t);
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            tokens.push(lex_ident(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            tokens.push(lex_plain_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            tokens.push(lex_char_or_lifetime(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            tokens.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        // Everything else: single punctuation character.
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_plain_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote")); // "
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::StrLit,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes `r##"…"##` (with `prefix_len` extra chars before the `r`, for `br`).
+fn lex_raw_string(cur: &mut Cursor, line: u32, col: u32, prefix_len: usize) -> Token {
+    let mut text = String::new();
+    for _ in 0..=prefix_len {
+        text.push(cur.bump().expect("raw string prefix"));
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push(cur.bump().expect("hash"));
+    }
+    text.push(cur.bump().expect("opening quote")); // "
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            // Close only when followed by the right number of hashes.
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                text.push(cur.bump().expect("closing quote"));
+                for _ in 0..hashes {
+                    text.push(cur.bump().expect("closing hash"));
+                }
+                break;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::StrLit,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime): after the quote, an
+/// escape or a non-identifier char is always a char literal; an identifier
+/// is a lifetime unless the very next char is a closing quote.
+fn lex_char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("quote")); // '
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape, then to the closing quote.
+            text.push(cur.bump().expect("backslash"));
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            while let Some(ch) = cur.peek(0) {
+                text.push(ch);
+                cur.bump();
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(ch) if is_ident_start(ch) => {
+            if cur.peek(1) == Some('\'') {
+                // 'a'
+                text.push(cur.bump().expect("char"));
+                text.push(cur.bump().expect("closing quote"));
+                Token {
+                    kind: TokenKind::CharLit,
+                    text,
+                    line,
+                    col,
+                }
+            } else {
+                // 'a / 'static / '_ — a lifetime; text is the name only.
+                let mut name = String::new();
+                while let Some(c2) = cur.peek(0) {
+                    if !is_ident_continue(c2) {
+                        break;
+                    }
+                    name.push(c2);
+                    cur.bump();
+                }
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                    col,
+                }
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal like '.' or '€'.
+            text.push(cur.bump().expect("char"));
+            if cur.peek(0) == Some('\'') {
+                text.push(cur.bump().expect("closing quote"));
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Token {
+            kind: TokenKind::CharLit,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let hex = cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('X'));
+    loop {
+        match cur.peek(0) {
+            Some(ch) if is_ident_continue(ch) => {
+                text.push(ch);
+                cur.bump();
+                // Decimal exponent sign: 1e-3 / 2.5E+7 (not in hex literals).
+                if !hex
+                    && (ch == 'e' || ch == 'E')
+                    && matches!(cur.peek(0), Some('+') | Some('-'))
+                    && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(cur.bump().expect("exponent sign"));
+                }
+            }
+            Some('.') => {
+                // `0..n` is a range and `1.max(2)` a method call — the dot
+                // belongs to the number only when not followed by another
+                // dot or an identifier.
+                let next = cur.peek(1);
+                if next == Some('.') || next.is_some_and(is_ident_start) {
+                    break;
+                }
+                text.push('.');
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    Token {
+        kind: TokenKind::NumLit,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_the_rules() {
+        // The classic regex-linter trap: a raw string containing what looks
+        // like a comment, a suppression, and a panic site.
+        let src = r####"let s = r#"// ve-lint: allow(x) -- nope .unwrap()"#;"####;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::StrLit)
+            .expect("one string literal");
+        assert!(lit.text.contains("unwrap"));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_and_inner_quotes() {
+        let src = r###"r##"a "quoted"# still inside"## + "plain""###;
+        let toks: Vec<_> = kinds(src);
+        let strings: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strings.len(), 2);
+        assert!(strings[0].1.contains("still inside"));
+    }
+
+    #[test]
+    fn nested_block_comments_resolve() {
+        let src = "/* outer /* inner .unwrap() */ tail */ code";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[0].text.contains("tail"));
+        assert!(toks[1].is_ident("code"));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n'; let u = '_';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'", "'_'"]);
+        assert_eq!(lifetimes, vec!["a", "a"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_loop_labels() {
+        let toks = kinds("&'static str; 'outer: loop { break 'outer; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["static", "outer", "outer"]);
+    }
+
+    #[test]
+    fn numbers_ranges_and_method_calls() {
+        let toks = kinds("0..n; 1.5e-3; 2.; 1.max(2); 0xFF; 1_000f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "1.5e-3", "2.", "1", "2", "0xFF", "1_000f64"]
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = lex(r##"b"bytes"; br#"raw bytes"#; b'x'; r#fn"##);
+        assert_eq!(toks[0].kind, TokenKind::StrLit);
+        assert!(toks[0].text.starts_with('b'));
+        assert_eq!(toks[2].kind, TokenKind::StrLit);
+        assert!(toks[4].kind == TokenKind::ByteLit);
+        let last = toks.last().expect("raw ident");
+        assert!(last.is_ident("fn"), "raw ident keeps its name: {last:?}");
+    }
+
+    #[test]
+    fn line_comments_carry_text_and_positions() {
+        let toks = lex("let x = 1; // ve-lint: allow(rule) -- reason\nnext");
+        let comment = toks.iter().find(|t| t.is_comment()).expect("comment");
+        assert!(comment.text.contains("ve-lint: allow(rule)"));
+        assert_eq!(comment.line, 1);
+        let next = toks.iter().find(|t| t.is_ident("next")).expect("next");
+        assert_eq!(next.line, 2);
+        assert_eq!(next.col, 1);
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let toks = lex(r#"let s = "a \" still inside // not a comment"; done"#);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_comment()));
+    }
+}

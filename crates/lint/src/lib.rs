@@ -1,0 +1,38 @@
+//! `ve-lint` — the repository's determinism & concurrency static-analysis
+//! gate.
+//!
+//! The north-star invariant (ROADMAP.md) is that selection, training, and
+//! storage state are **bit-identical at any worker/thread count** — a pure
+//! function of inputs. That property dies by a thousand cuts: a `HashMap`
+//! iteration here, an `Instant::now` there, a float sum whose order drifts
+//! with a refactor. `ve-lint` encodes each of those cuts as a named rule
+//! over a token-level model of the workspace (no registry access in this
+//! environment, so the lexer and workspace reader are self-contained and
+//! std-only), and CI runs it as a hard gate.
+//!
+//! Rules (see [`engine`] for the scoping policy and ROADMAP.md for the
+//! contract prose):
+//!
+//! | rule | what it catches |
+//! |---|---|
+//! | `nondeterministic-iteration` | order-exposing HashMap/HashSet iteration in determinism-critical crates |
+//! | `wall-clock-in-logic` | `Instant::now`/`SystemTime::now` outside `ve-sched`/`ve-bench` |
+//! | `panic-in-task-path` | `unwrap`/`expect`/`panic!` reachable from executor-submitted closures |
+//! | `lock-discipline` | lock-order cycles, lock-across-wait, recursive acquisition |
+//! | `float-reduction-order` | ad-hoc float reductions outside the blessed `FeatureBlock` kernels |
+//! | `executor-bypass` | raw `thread::spawn` outside `ve-sched` |
+//!
+//! Suppression: `// ve-lint: allow(<rule>) -- <reason>` on the offending
+//! line or the line above. Grandfathered findings live in
+//! `ve-lint.baseline`; stale entries fail the gate.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use engine::{
+    analyze, parse_baseline, render_baseline, unsuppressed_findings, BaselineEntry, Finding,
+    Report, RULE_MALFORMED_SUPPRESSION,
+};
+pub use workspace::{find_workspace_root, load_workspace, SourceFile, WorkspaceModel};

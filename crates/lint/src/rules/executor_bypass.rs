@@ -1,0 +1,45 @@
+//! `executor-bypass`: raw thread creation outside `ve-sched`.
+//!
+//! **Contract.** All concurrency flows through `ve_sched::Executor`
+//! (priority-aware, counted, panic-contained — the PR 2 deadlock fix lives
+//! there) or `ve_sched::parallel` (thread-count-independent data
+//! parallelism). A raw `std::thread::spawn` in product code escapes the
+//! executor's counters: `wait_idle` cannot see it, priorities cannot
+//! preempt it, and its panics kill a thread silently.
+
+use crate::engine::{Finding, RULE_EXECUTOR_BYPASS, SPAWN_EXEMPT_CRATES};
+use crate::rules::is_path_pair;
+use crate::workspace::WorkspaceModel;
+
+pub fn check(ws: &WorkspaceModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if SPAWN_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for ci in 0..file.code.len() {
+            for target in ["spawn", "Builder", "scope"] {
+                if !is_path_pair(file, ci, "thread", target) {
+                    continue;
+                }
+                let tok = file.ct(ci).expect("pattern matched");
+                if file.is_test_line(tok.line) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    RULE_EXECUTOR_BYPASS,
+                    file,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "`thread::{target}` in crate `{}` bypasses `ve_sched::Executor`: \
+                         work created here is invisible to `wait_idle`, priorities, and the \
+                         panic-containment counters",
+                        file.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,191 @@
+//! `float-reduction-order`: ad-hoc floating-point reductions outside the
+//! blessed `FeatureBlock` kernels.
+//!
+//! **Contract.** Float addition is not associative; the determinism
+//! invariant ("bit-identical at any `compute_threads`") holds because every
+//! hot-path reduction goes through `ve_ml::block`/`ve_ml::tensor`, whose
+//! kernels pin chunk boundaries so chunking never changes per-element
+//! results. A bare `.sum()`/`.fold(0.0, …)` elsewhere in a
+//! determinism-critical crate is a reduction whose order is pinned only by
+//! accident — the next refactor that parallelizes or re-buckets it (or feeds
+//! it from a hash map) silently changes results.
+//!
+//! The rule makes float-ness *lexically provable*: in critical crates every
+//! `.sum()`/`.product()` must carry a turbofish. Integer turbofishes pass
+//! (integer addition is associative); float turbofishes and bare calls must
+//! be in a blessed kernel file, annotated with why the order is fixed, or
+//! baselined. `.fold(` is classified by its literal accumulator.
+
+use crate::engine::{
+    Finding, DETERMINISM_CRITICAL_CRATES, FLOAT_BLESSED_FILES, RULE_FLOAT_REDUCTION_ORDER,
+};
+use crate::lexer::TokenKind;
+use crate::rules::method_call;
+use crate::workspace::{SourceFile, WorkspaceModel};
+
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Is this numeric literal a float? (`1.5`, `2.`, `1e-3`, `1f64` — but not
+/// `0xE`, `1_000`, or `0usize`, whose suffix contains an `e`.)
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    if INT_TYPES.iter().any(|s| text.ends_with(s)) {
+        return false;
+    }
+    text.contains('.')
+        || text.contains('e')
+        || text.contains('E')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+}
+
+pub fn check(ws: &WorkspaceModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !DETERMINISM_CRITICAL_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        if FLOAT_BLESSED_FILES.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        for ci in 0..file.code.len() {
+            check_sum_product(file, ci, &mut out);
+            check_fold(file, ci, &mut out);
+        }
+    }
+    out
+}
+
+fn push(out: &mut Vec<Finding>, file: &SourceFile, ci: usize, message: String) {
+    let tok = file.ct(ci).expect("caller matched a token here");
+    if file.is_test_line(tok.line) {
+        return;
+    }
+    out.push(Finding::new(
+        RULE_FLOAT_REDUCTION_ORDER,
+        file,
+        tok.line,
+        tok.col,
+        message,
+    ));
+}
+
+/// `.sum()` / `.product()`, bare or with turbofish.
+fn check_sum_product(file: &SourceFile, ci: usize, out: &mut Vec<Finding>) {
+    for m in ["sum", "product"] {
+        // Bare form: `.sum(`.
+        if method_call(file, ci, m).is_some() {
+            push(
+                out,
+                file,
+                ci + 1,
+                format!(
+                    "untyped `.{m}()` in determinism-critical crate `{}`: add a `::<T>` \
+                     turbofish so the element type is lexically checkable (integer \
+                     reductions pass; float reductions belong in the blessed \
+                     `FeatureBlock` kernels or need an annotation)",
+                    file.crate_name
+                ),
+            );
+            continue;
+        }
+        // Turbofish form: `.sum :: < T … > (`.
+        if !(file.ct(ci).is_some_and(|t| t.is_punct('.'))
+            && file.ct(ci + 1).is_some_and(|t| t.is_ident(m))
+            && file.ct(ci + 2).is_some_and(|t| t.is_punct(':'))
+            && file.ct(ci + 3).is_some_and(|t| t.is_punct(':'))
+            && file.ct(ci + 4).is_some_and(|t| t.is_punct('<')))
+        {
+            continue;
+        }
+        // Scan the turbofish type for float vs integer idents.
+        let mut j = ci + 5;
+        let mut depth = 1i64;
+        let mut float = false;
+        let mut int = false;
+        while let Some(t) = file.ct(j) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("f32") || t.is_ident("f64") {
+                float = true;
+            } else if t.kind == TokenKind::Ident && INT_TYPES.contains(&t.text.as_str()) {
+                int = true;
+            }
+            j += 1;
+        }
+        if float {
+            push(
+                out,
+                file,
+                ci + 1,
+                format!(
+                    "float `.{m}::<…>()` outside the blessed `FeatureBlock` kernels in \
+                     determinism-critical crate `{}`: reduction order is pinned only by \
+                     accident — route through `ve_ml::block`/`ve_ml::tensor`, or annotate \
+                     why the iteration order is fixed",
+                    file.crate_name
+                ),
+            );
+        } else if !int {
+            push(
+                out,
+                file,
+                ci + 1,
+                format!(
+                    "`.{m}::<…>()` with a non-primitive turbofish in determinism-critical \
+                     crate `{}`: spell the element type (`usize`, `f64`, …) so the rule \
+                     can classify it, or annotate",
+                    file.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// `.fold(init, …)` classified by the literal accumulator.
+fn check_fold(file: &SourceFile, ci: usize, out: &mut Vec<Finding>) {
+    let Some(open) = method_call(file, ci, "fold") else {
+        return;
+    };
+    let first = file.ct(open + 1);
+    match first {
+        Some(t) if t.kind == TokenKind::NumLit => {
+            if is_float_literal(&t.text) {
+                push(
+                    out,
+                    file,
+                    ci + 1,
+                    format!(
+                        "float `.fold({}, …)` outside the blessed `FeatureBlock` kernels in \
+                         determinism-critical crate `{}`: route the reduction through \
+                         `ve_ml::block`/`ve_ml::tensor`, or annotate why the order is fixed",
+                        t.text, file.crate_name
+                    ),
+                );
+            }
+            // Integer literal accumulator: associative, fine.
+        }
+        // `(0.0, 0)` tuple accumulators, variables, struct literals: the
+        // rule cannot classify them lexically — require the author to say.
+        _ => push(
+            out,
+            file,
+            ci + 1,
+            format!(
+                "`.fold(…)` with a non-literal accumulator in determinism-critical crate \
+                 `{}`: the rule cannot prove the accumulator is order-insensitive — use a \
+                 literal, route through the blessed kernels, or annotate",
+                file.crate_name
+            ),
+        ),
+    }
+}

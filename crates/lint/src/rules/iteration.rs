@@ -1,0 +1,366 @@
+//! `nondeterministic-iteration`: iterating a `std::collections::HashMap` /
+//! `HashSet` in a determinism-critical crate.
+//!
+//! **Contract.** `HashMap`/`HashSet` iteration order is randomized per
+//! process (`RandomState`). In `ve-al`, `ve-ml`, `ve-storage`, and
+//! `vocalexplore` — the crates ROADMAP binds to "bit-identical at any
+//! worker/thread count, a pure function of inputs" — any iteration whose
+//! order can reach a selection, a stored artifact, or a float reduction is
+//! a latent nondeterminism bug. Lookups (`get`, `contains_key`, `insert`)
+//! are fine; only order-exposing methods are flagged.
+//!
+//! # How bindings are found (token-level, no type inference)
+//!
+//! * declarations: `name: HashMap<…>` fields/params and
+//!   `let [mut] name = HashMap::new()/with_capacity(…)/from(…)` bindings —
+//!   collected **crate-wide**, so a field declared in one file is tracked in
+//!   the crate's other files;
+//! * map-returning functions: `fn name(…) -> …HashMap<…>` anywhere in the
+//!   workspace, so `store.windows().iter()` is caught at the call site.
+//!
+//! # Exemptions (proof the order cannot escape)
+//!
+//! * the same statement sorts (`.sort*()`) or lands in an ordered collection
+//!   (`BTreeMap`/`BTreeSet` appears in the statement);
+//! * the *next* statement sorts the binding the statement just created
+//!   (`let mut v: Vec<_> = m.keys().collect(); v.sort();`);
+//! * a `ve-lint: allow(nondeterministic-iteration) -- <why order-insensitive>`
+//!   annotation.
+
+use crate::engine::{Finding, DETERMINISM_CRITICAL_CRATES, RULE_NONDETERMINISTIC_ITERATION};
+use crate::workspace::{SourceFile, WorkspaceModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that expose iteration order.
+const ORDER_EXPOSING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+fn is_hash_collection(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// Collects identifiers bound to hash collections in this file: struct
+/// fields, fn params (`name: HashMap<…>`), and `let` bindings initialized
+/// from a `HashMap`/`HashSet` constructor path.
+fn collect_bindings(file: &SourceFile, out: &mut BTreeSet<String>) {
+    for ci in 0..file.code.len() {
+        let Some(tok) = file.ct(ci) else { continue };
+        if !(tok.kind == crate::lexer::TokenKind::Ident && is_hash_collection(&tok.text)) {
+            continue;
+        }
+        // Bindings declared in test code must not taint the crate's
+        // production files (tests freely build scratch HashSets).
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        // Walk back over the path prefix (`std :: collections ::`).
+        let mut j = ci;
+        while j >= 2
+            && file.ct(j - 1).is_some_and(|t| t.is_punct(':'))
+            && file.ct(j - 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if j < 3 {
+                break;
+            }
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // Walk back out of wrapper generics: `warm: Mutex<HashMap<…>>` or
+        // `index: Arc<RwLock<HashMap<…>>>` still binds `warm`/`index` to a
+        // hash collection (reached through `.lock()`/`.read()` passthroughs).
+        while j >= 2
+            && file.ct(j - 1).is_some_and(|t| t.is_punct('<'))
+            && file
+                .ct(j - 2)
+                .is_some_and(|t| t.kind == crate::lexer::TokenKind::Ident)
+        {
+            j -= 2;
+        }
+        // Walk back over reference prefixes: `m: &HashMap<…>` and
+        // `m: &'a mut HashMap<…>` still bind `m` to a hash collection.
+        while j >= 2
+            && file.ct(j - 1).is_some_and(|t| {
+                t.is_punct('&') || t.is_ident("mut") || t.kind == crate::lexer::TokenKind::Lifetime
+            })
+        {
+            j -= 1;
+        }
+        let before = file.ct(j - 1).expect("j > 0");
+        if before.is_punct(':') {
+            // `name : [path::]HashMap` — field, param, or annotated let.
+            if let Some(name) = file.ct(j.wrapping_sub(2)) {
+                if name.kind == crate::lexer::TokenKind::Ident {
+                    out.insert(name.text.clone());
+                }
+            }
+        } else if before.is_punct('=') {
+            // `let [mut] name = [path::]HashMap::new()` — walk back past `=`.
+            let mut k = j - 1; // index of `=`
+            if k == 0 {
+                continue;
+            }
+            k -= 1;
+            let Some(name) = file.ct(k) else { continue };
+            if name.kind != crate::lexer::TokenKind::Ident {
+                continue;
+            }
+            let is_let = (k >= 1 && file.ct(k - 1).is_some_and(|t| t.is_ident("let")))
+                || (k >= 2
+                    && file.ct(k - 1).is_some_and(|t| t.is_ident("mut"))
+                    && file.ct(k - 2).is_some_and(|t| t.is_ident("let")));
+            if is_let {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+}
+
+/// Collects names of functions whose return type mentions a hash collection
+/// (`fn windows(…) -> &HashMap<…>`).
+fn collect_map_returning_fns(ws: &WorkspaceModel) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in &ws.files {
+        for ci in 0..file.code.len() {
+            if !file.ct(ci).is_some_and(|t| t.is_ident("fn")) {
+                continue;
+            }
+            let Some(name) = file.ct(ci + 1) else {
+                continue;
+            };
+            if name.kind != crate::lexer::TokenKind::Ident || file.is_test_line(name.line) {
+                continue;
+            }
+            // Find the param list, then scan the return type (tokens between
+            // `)` and the body `{` or `;`).
+            let mut j = ci + 2;
+            while j < file.code.len() && !file.ct(j).is_some_and(|t| t.is_punct('(')) {
+                j += 1;
+            }
+            if j >= file.code.len() {
+                continue;
+            }
+            let close = file.matching_close(j);
+            let mut k = close + 1;
+            let mut returns_map = false;
+            while let Some(t) = file.ct(k) {
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                if t.kind == crate::lexer::TokenKind::Ident && is_hash_collection(&t.text) {
+                    returns_map = true;
+                }
+                k += 1;
+            }
+            if returns_map {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Statement span (code-token indices) around `ci`: back to the previous
+/// `;`/`{`/`}` and forward to the next `;` (or `{`/`}` boundary), skipping
+/// over nested bracket groups when scanning forward.
+fn statement_span(file: &SourceFile, ci: usize) -> (usize, usize) {
+    let mut start = ci;
+    while start > 0 {
+        let t = file.ct(start - 1).expect("start > 0");
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = ci;
+    while let Some(t) = file.ct(end) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            end = file.matching_close(end);
+        } else if t.is_punct(';') || t.is_punct('}') {
+            break;
+        }
+        end += 1;
+    }
+    (start, end.min(file.code.len().saturating_sub(1)))
+}
+
+/// Whether the statement proves its order cannot escape: it sorts, or it
+/// collects into an ordered collection.
+fn statement_neutralizes(file: &SourceFile, span: (usize, usize)) -> bool {
+    for ci in span.0..=span.1 {
+        let Some(t) = file.ct(ci) else { continue };
+        if t.kind == crate::lexer::TokenKind::Ident
+            && (SORTERS.contains(&t.text.as_str())
+                || t.text == "BTreeMap"
+                || t.text == "BTreeSet"
+                || t.text == "BinaryHeap")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the statement is `let [mut] b = …;` and the following statement
+/// starts with `b.sort*(`.
+fn next_statement_sorts_binding(file: &SourceFile, span: (usize, usize)) -> bool {
+    if !file.ct(span.0).is_some_and(|t| t.is_ident("let")) {
+        return false;
+    }
+    let mut bi = span.0 + 1;
+    if file.ct(bi).is_some_and(|t| t.is_ident("mut")) {
+        bi += 1;
+    }
+    let Some(binding) = file.ct(bi) else {
+        return false;
+    };
+    if binding.kind != crate::lexer::TokenKind::Ident {
+        return false;
+    }
+    let next = span.1 + 1;
+    file.ct(next).is_some_and(|t| t.text == binding.text)
+        && file.ct(next + 1).is_some_and(|t| t.is_punct('.'))
+        && file
+            .ct(next + 2)
+            .is_some_and(|t| SORTERS.contains(&t.text.as_str()))
+}
+
+pub fn check(ws: &WorkspaceModel) -> Vec<Finding> {
+    let map_fns = collect_map_returning_fns(ws);
+    // Crate-wide binding sets: fields declared in one file are used in others.
+    let mut crate_bindings: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for file in &ws.files {
+        if !DETERMINISM_CRITICAL_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        collect_bindings(
+            file,
+            crate_bindings.entry(file.crate_name.as_str()).or_default(),
+        );
+    }
+
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let Some(bindings) = crate_bindings.get(file.crate_name.as_str()) else {
+            continue;
+        };
+        for ci in 0..file.code.len() {
+            let Some(candidate) = order_exposing_use(file, ci, bindings, &map_fns) else {
+                continue;
+            };
+            let tok = file.ct(ci).expect("candidate matched");
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let span = statement_span(file, ci);
+            if statement_neutralizes(file, span) || next_statement_sorts_binding(file, span) {
+                continue;
+            }
+            out.push(Finding::new(
+                RULE_NONDETERMINISTIC_ITERATION,
+                file,
+                tok.line,
+                tok.col,
+                format!(
+                    "{candidate} iterates a std hash collection whose order is randomized per \
+                     process, in determinism-critical crate `{}`; sort the keys, switch to \
+                     `BTreeMap`/`BTreeSet`, or annotate why the order cannot escape",
+                    file.crate_name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// If the code token at `ci` starts an order-exposing use of a known hash
+/// collection, describes it; otherwise `None`.
+fn order_exposing_use(
+    file: &SourceFile,
+    ci: usize,
+    bindings: &BTreeSet<String>,
+    map_fns: &BTreeSet<String>,
+) -> Option<String> {
+    let tok = file.ct(ci)?;
+    if tok.kind != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    let name = tok.text.as_str();
+
+    // `map.keys()` / map-returning call `windows().iter()`.
+    let (desc, mut after_recv) = if bindings.contains(name) {
+        (format!("`{name}.<m>()`"), ci + 1)
+    } else if map_fns.contains(name) && file.ct(ci + 1).is_some_and(|t| t.is_punct('(')) {
+        let close = file.matching_close(ci + 1);
+        (format!("`{name}().<m>()`"), close + 1)
+    } else {
+        return None;
+    };
+    // Skip guard/reference passthroughs: `warm.lock().keys()` still iterates
+    // the map inside.
+    const PASSTHROUGH: &[&str] = &["lock", "read", "write", "borrow", "borrow_mut", "as_ref"];
+    while file.ct(after_recv).is_some_and(|t| t.is_punct('.'))
+        && file
+            .ct(after_recv + 1)
+            .is_some_and(|t| PASSTHROUGH.contains(&t.text.as_str()))
+        && file.ct(after_recv + 2).is_some_and(|t| t.is_punct('('))
+        && file.ct(after_recv + 3).is_some_and(|t| t.is_punct(')'))
+    {
+        after_recv += 4;
+    }
+    if file.ct(after_recv).is_some_and(|t| t.is_punct('.')) {
+        if let Some(m) = file.ct(after_recv + 1) {
+            if ORDER_EXPOSING.contains(&m.text.as_str())
+                && file.ct(after_recv + 2).is_some_and(|t| t.is_punct('('))
+            {
+                return Some(desc.replace("<m>", &m.text));
+            }
+        }
+    }
+
+    // `for _ in [&][mut] [self.] name {` — direct for-loop iteration. Only
+    // fires when `name` is directly followed by `{`, so `map.len()` in a
+    // range expression never matches.
+    if bindings.contains(name) && file.ct(ci + 1).is_some_and(|t| t.is_punct('{')) {
+        // Walk back over `&`, `mut`, `self.`, and require the `in` keyword.
+        let mut j = ci;
+        if j >= 2
+            && file.ct(j - 1).is_some_and(|t| t.is_punct('.'))
+            && file.ct(j - 2).is_some_and(|t| t.is_ident("self"))
+        {
+            j -= 2;
+        }
+        while j >= 1 {
+            let t = file.ct(j - 1).expect("j >= 1");
+            if t.is_punct('&') || t.is_ident("mut") {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 1 && file.ct(j - 1).is_some_and(|t| t.is_ident("in")) {
+            return Some(format!("`for … in {name}`"));
+        }
+    }
+    None
+}

@@ -1,0 +1,42 @@
+//! The rule set. Each module implements one documented contract check and
+//! exposes `check(ws) -> Vec<Finding>`; scoping policy lives in
+//! [`crate::engine`] so ROADMAP.md and the code agree in one place.
+
+pub mod executor_bypass;
+pub mod float_order;
+pub mod iteration;
+pub mod locks;
+pub mod panic_path;
+pub mod wallclock;
+
+use crate::workspace::SourceFile;
+
+/// Whether the code token at `ci` starts the path pattern `a :: b`
+/// (tokenized as `a` `:` `:` `b`).
+pub(crate) fn is_path_pair(file: &SourceFile, ci: usize, a: &str, b: &str) -> bool {
+    file.ct(ci).is_some_and(|t| t.is_ident(a))
+        && file.ct(ci + 1).is_some_and(|t| t.is_punct(':'))
+        && file.ct(ci + 2).is_some_and(|t| t.is_punct(':'))
+        && file.ct(ci + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// Whether the code token at `ci` is a method call `.name(`; returns the
+/// code-index of the opening paren.
+pub(crate) fn method_call(file: &SourceFile, ci: usize, name: &str) -> Option<usize> {
+    if file.ct(ci).is_some_and(|t| t.is_punct('.'))
+        && file.ct(ci + 1).is_some_and(|t| t.is_ident(name))
+        && file.ct(ci + 2).is_some_and(|t| t.is_punct('('))
+    {
+        Some(ci + 2)
+    } else {
+        None
+    }
+}
+
+/// Rust keywords: identifiers that can precede `(` without being calls.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while", "yield",
+];

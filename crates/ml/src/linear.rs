@@ -445,9 +445,11 @@ impl Classifier for TrainedModel {
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    // ve-lint: allow(float-reduction-order) -- max is order-insensitive (commutative and associative)
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
+    // ve-lint: allow(float-reduction-order) -- slice iteration order is fixed
+    let sum: f32 = exps.iter().sum::<f32>();
     exps.iter().map(|e| e / sum).collect()
 }
 

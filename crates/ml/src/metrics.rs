@@ -74,12 +74,14 @@ pub fn per_class_f1(
         let fp: f64 = (0..num_classes)
             .filter(|&t| t != c)
             .map(|t| cm[t][c] as f64)
-            .sum();
+            // ve-lint: allow(float-reduction-order) -- range iteration order is fixed
+            .sum::<f64>();
         let fn_: f64 = (0..num_classes)
             .filter(|&p| p != c)
             .map(|p| cm[c][p] as f64)
-            .sum();
-        support[c] = cm[c].iter().sum();
+            // ve-lint: allow(float-reduction-order) -- range iteration order is fixed
+            .sum::<f64>();
+        support[c] = cm[c].iter().sum::<usize>();
         precision[c] = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         recall[c] = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
         f1[c] = if precision[c] + recall[c] > 0.0 {

@@ -112,6 +112,7 @@ where
             })
             .collect();
         for h in handles {
+            // ve-lint: allow(panic-in-task-path) -- join only fails if a pool worker already panicked; re-raising preserves the original panic
             pieces.push(h.join().expect("parallel map worker panicked"));
         }
     });
@@ -151,6 +152,7 @@ where
             .collect();
         let mut out = Vec::with_capacity(n);
         for h in handles {
+            // ve-lint: allow(panic-in-task-path) -- join only fails if a pool worker already panicked; re-raising preserves the original panic
             out.extend(h.join().expect("parallel task worker panicked"));
         }
         out

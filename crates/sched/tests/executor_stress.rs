@@ -1,6 +1,10 @@
 //! Stress tests for the priority executor: concurrent submitters, priority
 //! ordering under contention, panic storms, and counter convergence.
 
+// Raw threads on purpose: these tests hammer the executor *from outside* it,
+// which is exactly what the disallowed-methods rule forbids in product code.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;

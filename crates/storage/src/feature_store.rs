@@ -9,6 +9,8 @@
 //! zero-copy `&[f32]` views straight out of the block instead of cloning
 //! `Vec<f32>`s out of a pointer-chasing `Vec<FeatureVector>`.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use std::collections::HashMap;
 use ve_features::{ExtractorId, FeatureVector};
 use ve_ml::{FeatureBlock, FeatureBlockBuilder};
@@ -228,18 +230,29 @@ impl FeatureStore {
 
     /// Total number of stored vectors across all entries.
     pub fn total_vectors(&self) -> usize {
-        self.by_key.values().map(|v| v.len()).sum()
+        // ve-lint: allow(nondeterministic-iteration) -- integer sum over every value; order-insensitive
+        self.by_key.values().map(|v| v.len()).sum::<usize>()
     }
 
     /// Approximate resident bytes of the stored vectors (data payloads only),
     /// which the eager-extraction guardrail can use to cap background work.
     pub fn approx_bytes(&self) -> usize {
-        self.by_key.values().map(|v| v.payload_bytes()).sum()
+        // ve-lint: allow(nondeterministic-iteration) -- integer sum over every value; order-insensitive
+        self.by_key
+            .values()
+            .map(|v| v.payload_bytes())
+            .sum::<usize>()
     }
 
-    /// Iterates over all `(extractor, vid)` entries.
+    /// Iterates over all `(extractor, vid)` entries in ascending key order.
+    ///
+    /// Key-sorted on purpose: the persistence layer serializes snapshots in
+    /// this order, so exposing raw `HashMap` order here made snapshot bytes
+    /// differ from run to run on identical state.
     pub fn iter(&self) -> impl Iterator<Item = (&(ExtractorId, VideoId), &VideoFeatures)> {
-        self.by_key.iter()
+        let mut entries: Vec<_> = self.by_key.iter().collect();
+        entries.sort_by_key(|(key, _)| **key);
+        entries.into_iter()
     }
 
     /// Drops every vector belonging to an extractor (used when the rising

@@ -3,6 +3,8 @@
 //! decide whether the label distribution is skewed, and the Model Manager
 //! reads the full records to assemble training sets.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use std::collections::HashMap;
 use ve_vidsim::{ClassId, TimeRange, VideoId};
 

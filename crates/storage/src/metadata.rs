@@ -67,7 +67,8 @@ impl VideoMetadataStore {
 
     /// Total catalog duration in seconds.
     pub fn total_duration(&self) -> f64 {
-        self.rows.values().map(|r| r.duration).sum()
+        // ve-lint: allow(float-reduction-order) -- BTreeMap::values() iterates in key order, so the reduction order is fixed
+        self.rows.values().map(|r| r.duration).sum::<f64>()
     }
 
     /// Removes a record, returning it if present.

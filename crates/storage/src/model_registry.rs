@@ -7,6 +7,8 @@
 //! is the piece of state that makes that possible — model training tasks
 //! publish here, inference reads the latest published handle.
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use std::collections::HashMap;
 use std::sync::Arc;
 use ve_features::ExtractorId;

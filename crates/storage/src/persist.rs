@@ -10,6 +10,8 @@
 //!                                u32 n_vectors × { start f64, end f64, data f32[] } }
 //! ```
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::codec::{Reader, Writer};
 use crate::error::StorageError;
 use crate::feature_store::FeatureStore;
@@ -199,6 +201,46 @@ mod tests {
             }],
         );
         (metadata, labels, features)
+    }
+
+    /// Snapshot bytes must be a pure function of store *state*, independent
+    /// of the order entries were inserted (regression: `FeatureStore::iter`
+    /// used to expose raw `HashMap` order, so identical stores produced
+    /// different snapshot files from run to run).
+    #[test]
+    fn snapshot_bytes_independent_of_insertion_order() {
+        let (metadata, labels, _) = sample_stores();
+        let vector = |e: ExtractorId, v: u64| {
+            vec![FeatureVector {
+                extractor: e,
+                vid: VideoId(v),
+                range: TimeRange::new(0.0, 1.0),
+                data: vec![v as f32, 2.0],
+            }]
+        };
+        let keys = [
+            (ExtractorId::Mvit, 3u64),
+            (ExtractorId::R3d, 1),
+            (ExtractorId::Clip, 2),
+            (ExtractorId::R3d, 0),
+        ];
+        let mut forward = FeatureStore::new();
+        for &(e, v) in &keys {
+            forward.put(e, VideoId(v), vector(e, v));
+        }
+        let mut reverse = FeatureStore::new();
+        for &(e, v) in keys.iter().rev() {
+            reverse.put(e, VideoId(v), vector(e, v));
+        }
+        let sorted: Vec<_> = forward.iter().map(|(k, _)| *k).collect();
+        let mut expected = sorted.clone();
+        expected.sort();
+        assert_eq!(sorted, expected, "FeatureStore::iter must be key-sorted");
+        assert_eq!(
+            encode_snapshot(&metadata, &labels, &forward),
+            encode_snapshot(&metadata, &labels, &reverse),
+            "snapshot bytes must not depend on insertion order"
+        );
     }
 
     #[test]

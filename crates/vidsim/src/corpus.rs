@@ -1,6 +1,8 @@
 //! A collection of video clips with id assignment and lookup, standing in for
 //! the user's directory of video files (`AddVideo(path)` in the paper's API).
 
+#![allow(clippy::disallowed_types)] // HashMap by design: order-exposing uses are policed by ve-lint nondeterministic-iteration
+
 use crate::types::{VideoClip, VideoId};
 use std::collections::HashMap;
 
