@@ -27,7 +27,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
     let sim = FeatureSimulator::new(DatasetName::Deer, 9, 5);
     let fm = FeatureManager::new(sim, StorageManager::new());
     let clip = &dataset.train.videos()[0];
-    fm.ensure_clip(ExtractorId::R3d, clip);
+    fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
     group.bench_function("feature_for_cached", |b| {
         b.iter(|| {
             black_box(fm.feature_for(

@@ -77,7 +77,7 @@ fn fixture(pool: &Pool, kind: AcquisitionKind) -> Fixture {
     );
     let mut windows = 0usize;
     for clip in dataset.train.videos() {
-        fm.ensure_clip(EXTRACTOR, clip);
+        fm.ensure_clip(EXTRACTOR, clip).unwrap();
         windows += clip.num_windows(CLIP_LEN);
     }
     let mm = ModelManager::new(config.clone());
@@ -104,14 +104,16 @@ fn seed_labels(fx: &Fixture, labels: &mut LabelStore) {
             iteration: 0,
         });
     }
-    fx.mm.train(
-        EXTRACTOR,
-        &fx.dataset.train,
-        &fx.fm,
-        labels.records(),
-        0,
-        None,
-    );
+    fx.mm
+        .train(
+            EXTRACTOR,
+            &fx.dataset.train,
+            &fx.fm,
+            labels.records(),
+            0,
+            None,
+        )
+        .unwrap();
 }
 
 /// Runs one labeling session, timing only the selection calls.

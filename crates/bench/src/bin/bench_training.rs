@@ -95,7 +95,7 @@ fn fixture(prob_cache: bool, warm: bool) -> Fixture {
     );
     let mut windows = 0usize;
     for clip in dataset.train.videos() {
-        fm.ensure_clip(EXTRACTOR, clip);
+        fm.ensure_clip(EXTRACTOR, clip).unwrap();
         windows += clip.num_windows(CLIP_LEN);
     }
     Fixture {
@@ -129,7 +129,8 @@ fn run_session(fx: &Fixture, iterations: usize) -> SessionResult {
         labels.records(),
         0,
         None,
-    );
+    )
+    .unwrap();
     let mut alm = ActiveLearningManager::new(fx.config.clone());
     let mut iter_ns = Vec::with_capacity(iterations);
     let mut picks_log = Vec::with_capacity(iterations);
@@ -143,7 +144,8 @@ fn run_session(fx: &Fixture, iterations: usize) -> SessionResult {
                 labels.records(),
                 i as u32,
                 None,
-            );
+            )
+            .unwrap();
         }
         let (picks, _) = alm.select_segments(
             &fx.dataset.train,
@@ -179,7 +181,9 @@ fn run_session(fx: &Fixture, iterations: usize) -> SessionResult {
         .filter(|clip| {
             let range = TimeRange::new(0.0, CLIP_LEN);
             let truth = oracle.label(&fx.dataset.train, clip.id, &range);
-            let preds = mm.predict(EXTRACTOR, &fx.dataset.train, &fx.fm, clip.id, &range);
+            let preds = mm
+                .predict(EXTRACTOR, &fx.dataset.train, &fx.fm, clip.id, &range)
+                .unwrap();
             preds.first().map(|p| p.class) == truth.first().copied()
         })
         .count();

@@ -31,7 +31,8 @@ use ve_vidsim::{ClassId, TimeRange, VideoCorpus, VideoId};
 /// Statistics about the most recent selection (used for latency accounting).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectionStats {
-    /// Acquisition function that produced the batch.
+    /// Acquisition function that produced the batch (after any
+    /// coverage-only degradation — see `coverage_fallback`).
     pub acquisition: AcquisitionKind,
     /// Number of sampled videos whose features had to be extracted to serve
     /// the current call (0 under `VE-full`, where eager extraction already
@@ -39,6 +40,12 @@ pub struct SelectionStats {
     pub videos_extracted_for_call: usize,
     /// GPU seconds spent on those extractions.
     pub extraction_secs: f64,
+    /// Lazily-extended candidate videos whose extraction permanently failed;
+    /// selection proceeded over the remaining covered pool.
+    pub candidates_lost: usize,
+    /// Whether a probability-based acquisition fell back to coverage-only
+    /// (coreset) selection because batch inference permanently failed.
+    pub coverage_fallback: bool,
 }
 
 /// The Active Learning Manager.
@@ -292,6 +299,8 @@ impl ActiveLearningManager {
                         acquisition,
                         videos_extracted_for_call: 0,
                         extraction_secs: 0.0,
+                        candidates_lost: 0,
+                        coverage_fallback: false,
                     },
                 )
             }
@@ -371,6 +380,7 @@ impl ActiveLearningManager {
         // index's hash map — O(1) per video instead of the old O(pool) scan.
         let mut extraction_secs = 0.0;
         let mut extracted_videos = 0;
+        let mut candidates_lost = 0;
         let desired = budget + self.config.extra_candidates_x;
         if self.index.as_ref().expect("index ensured").video_count() < desired {
             let index = self.index.as_ref().expect("index ensured");
@@ -383,10 +393,17 @@ impl ActiveLearningManager {
             unexplored.shuffle(&mut self.rng);
             for vid in unexplored.into_iter().take(missing) {
                 if let Some(clip) = corpus.get(vid) {
-                    let cost = fm.ensure_clip(extractor, clip);
-                    if cost > 0.0 {
-                        extracted_videos += 1;
-                        extraction_secs += cost;
+                    // A permanently failed extraction leaves the video
+                    // `pending` in the index; selection proceeds over the
+                    // covered pool and the loss is reported in the stats.
+                    match fm.ensure_clip(extractor, clip) {
+                        Ok(cost) => {
+                            if cost > 0.0 {
+                                extracted_videos += 1;
+                                extraction_secs += cost;
+                            }
+                        }
+                        Err(_) => candidates_lost += 1,
                     }
                 }
             }
@@ -404,9 +421,30 @@ impl ActiveLearningManager {
                     acquisition: AcquisitionKind::Random,
                     videos_extracted_for_call: extracted_videos,
                     extraction_secs,
+                    candidates_lost,
+                    coverage_fallback: false,
                 },
             );
         }
+
+        // Graceful degradation: when the batch-probability backend for the
+        // current model exhausts its retry budget, probability-based
+        // acquisitions fall back to coverage-only (coreset) selection for
+        // this call. The gate is consulted *before* choosing between the
+        // probability cache and the uncached path, so cache-on/off runs stay
+        // bit-identical under faults.
+        let mut coverage_fallback = false;
+        let acquisition = match acquisition {
+            kind @ (AcquisitionKind::ClusterMargin | AcquisitionKind::Uncertainty) => {
+                if mm.batch_inference_gate(extractor).is_err() {
+                    coverage_fallback = true;
+                    AcquisitionKind::Coreset
+                } else {
+                    kind
+                }
+            }
+            other => other,
+        };
 
         // Coreset coverage must absorb all labels collected so far before
         // the eligible set is frozen (anchor lookups may extract labeled
@@ -491,6 +529,8 @@ impl ActiveLearningManager {
                 acquisition,
                 videos_extracted_for_call: extracted_videos,
                 extraction_secs,
+                candidates_lost,
+                coverage_fallback,
             },
         )
     }
@@ -640,7 +680,7 @@ mod tests {
             .skip(30)
             .take(20)
             .map(|c| {
-                fx.fm.ensure_clip(extractor, c);
+                fx.fm.ensure_clip(extractor, c).unwrap();
                 c.id
             })
             .collect();
@@ -696,14 +736,16 @@ mod tests {
     fn targeted_explore_uses_uncertainty_sampling() {
         let mut fx = fixture(6);
         label_some(&mut fx, 30);
-        fx.mm.train(
-            ExtractorId::Mvit,
-            &fx.dataset.train,
-            &fx.fm,
-            fx.labels.records(),
-            0,
-            None,
-        );
+        fx.mm
+            .train(
+                ExtractorId::Mvit,
+                &fx.dataset.train,
+                &fx.fm,
+                fx.labels.records(),
+                0,
+                None,
+            )
+            .unwrap();
         let mut alm = ActiveLearningManager::new(fx.config.clone());
         let (picks, stats) = alm.select_segments(
             &fx.dataset.train,

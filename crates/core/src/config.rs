@@ -4,7 +4,8 @@ use ve_al::VeSampleConfig;
 use ve_bandit::RisingBanditConfig;
 use ve_features::ExtractorId;
 use ve_ml::TrainConfig;
-use ve_sched::SchedulerStrategy;
+use ve_sched::fault::FaultPlan;
+use ve_sched::{RetryPolicy, SchedulerStrategy};
 use ve_vidsim::{Dataset, DatasetName, TaskKind};
 
 /// How the ALM chooses the acquisition function.
@@ -198,6 +199,17 @@ pub struct VocalExploreConfig {
     /// divided by `time_scale` are comparable to the paper's latency axes.
     /// The synchronous facade ignores this knob entirely.
     pub time_scale: f64,
+    /// Deterministic fault-injection plan for chaos testing. `None` (the
+    /// default) disables injection entirely; a plan makes feature
+    /// extraction, training, and inference fail as a pure function of
+    /// `(plan.seed, site, key, attempt)` — bit-identical at any worker or
+    /// thread count.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry budget and virtual-time backoff applied to faultable
+    /// operations (extraction, training, inference) by both the synchronous
+    /// facade and the async session engine. The two paths share the attempt
+    /// numbering, so their outcomes under a fault plan are identical.
+    pub retry: RetryPolicy,
 }
 
 impl VocalExploreConfig {
@@ -225,6 +237,8 @@ impl VocalExploreConfig {
             compute_threads: 0,
             executor_workers: 2,
             time_scale: 2e-3,
+            fault_plan: None,
+            retry: RetryPolicy::new(3, 0.05, 2.0),
         }
     }
 
@@ -306,6 +320,22 @@ impl VocalExploreConfig {
     /// Overrides the warm-start configuration.
     pub fn with_warm_start(mut self, warm_start: WarmStartConfig) -> Self {
         self.warm_start = warm_start;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the retry budget / backoff for faultable operations.
+    ///
+    /// # Panics
+    /// Panics if `retry.max_attempts == 0`.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts > 0, "need at least one attempt");
+        self.retry = retry;
         self
     }
 
@@ -401,6 +431,29 @@ mod tests {
         assert!(!cfg.prob_cache);
         assert!(cfg.warm_start.enabled);
         assert_eq!(cfg.warm_start.replay_cap, 16);
+    }
+
+    #[test]
+    fn fault_knobs_default_off_and_override() {
+        use ve_sched::fault::FaultRule;
+        let cfg = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0);
+        assert!(cfg.fault_plan.is_none(), "no faults unless asked for");
+        assert_eq!(cfg.retry.max_attempts, 3);
+        let plan = FaultPlan::uniform(7, FaultRule::transient(0.5, 2));
+        let cfg = cfg
+            .with_fault_plan(plan.clone())
+            .with_retry(RetryPolicy::new(5, 0.1, 2.0));
+        assert_eq!(cfg.fault_plan, Some(plan));
+        assert_eq!(cfg.retry.max_attempts, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn rejects_zero_retry_attempts() {
+        let mut retry = RetryPolicy::none();
+        retry.max_attempts = 0;
+        let _ = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0)
+            .with_retry(retry);
     }
 
     #[test]

@@ -10,9 +10,36 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use ve_features::{ExtractorId, FeatureSimulator, FeatureVector};
+use ve_sched::fault::{FaultInjector, FaultSite};
+use ve_sched::RetryPolicy;
 use ve_storage::StorageManager;
 use ve_vidsim::{TimeRange, VideoClip, VideoCorpus, VideoId};
+
+/// Typed extraction failure: the (simulated) GPU backend failed every attempt
+/// the retry budget allowed for one `(extractor, vid)` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractionError {
+    /// Extractor whose backend failed.
+    pub extractor: ExtractorId,
+    /// Video whose extraction gave up.
+    pub vid: VideoId,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GPU extraction of {:?} features for video {} failed after {} attempts",
+            self.extractor, self.vid.0, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for ExtractionError {}
 
 /// Feature Manager: lazy, cached feature extraction with cost accounting.
 pub struct FeatureManager {
@@ -24,6 +51,12 @@ pub struct FeatureManager {
     /// the async session engine can *measure* the Table-3 GPU costs instead
     /// of modeling them. Zero (the default) disables the sleep entirely.
     latency_scale_bits: AtomicU64,
+    /// Deterministic GPU-fault injection; `None` disables it.
+    fault: Option<Arc<FaultInjector>>,
+    /// Attempts and virtual-time backoff the extraction retry loop uses when
+    /// a fault is injected. Backoff sleeps only when latency simulation is
+    /// on, and never affects fault decisions.
+    retry: RetryPolicy,
 }
 
 impl FeatureManager {
@@ -34,7 +67,16 @@ impl FeatureManager {
             storage,
             gpu_seconds: Mutex::new(0.0),
             latency_scale_bits: AtomicU64::new(0),
+            fault: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Installs a deterministic fault injector (and the retry budget its
+    /// failures are retried under) for the `FeatureExtraction` site.
+    pub fn set_fault_injector(&mut self, fault: Option<Arc<FaultInjector>>, retry: RetryPolicy) {
+        self.fault = fault;
+        self.retry = retry;
     }
 
     /// The simulator in use (exposes extractor specs and profiles).
@@ -93,17 +135,62 @@ impl FeatureManager {
             .with_features(|f| f.videos_with_features(extractor))
     }
 
+    /// Stable fault-decision key for one `(extractor, vid)` operation.
+    fn fault_key(extractor: ExtractorId, vid: VideoId) -> u64 {
+        (vid.0 << 3) | extractor.index() as u64
+    }
+
+    /// Runs the deterministic GPU-fault retry loop for one extraction.
+    /// Attempt numbering restarts at zero per call, so a given
+    /// `(extractor, vid)` either always succeeds within the budget or always
+    /// gives up — a pure constant of the fault plan, at any thread count.
+    fn extraction_gate(&self, extractor: ExtractorId, vid: VideoId) -> Result<(), ExtractionError> {
+        let Some(inj) = &self.fault else {
+            return Ok(());
+        };
+        let key = Self::fault_key(extractor, vid);
+        let max = self.retry.max_attempts.max(1);
+        for attempt in 0..max {
+            if !inj.should_fail(FaultSite::FeatureExtraction, key, attempt) {
+                return Ok(());
+            }
+            if attempt + 1 < max {
+                // Deterministic virtual-time backoff; sleeps only when the
+                // latency simulation is on (decisions are unaffected).
+                if let Some(scale) = self.latency_scale() {
+                    let secs = self.retry.backoff_secs(attempt + 1) * scale;
+                    if secs > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                    }
+                }
+            }
+        }
+        Err(ExtractionError {
+            extractor,
+            vid,
+            attempts: max,
+        })
+    }
+
     /// Ensures features for one whole clip are extracted (no-op if cached).
-    /// Returns the GPU seconds this call actually spent (0 on a cache hit).
+    /// Returns the GPU seconds this call actually spent (0 on a cache hit),
+    /// or a typed error when the (injected) GPU fault outlasted the retry
+    /// budget — in which case nothing is published or charged, and the video
+    /// stays pending for future calls.
     ///
     /// Safe to call concurrently for the same `(extractor, clip)`: the
     /// simulator is deterministic, so racing extractions produce identical
     /// vectors, and only the thread that actually publishes the entry is
     /// charged for the GPU time.
-    pub fn ensure_clip(&self, extractor: ExtractorId, clip: &VideoClip) -> f64 {
+    pub fn ensure_clip(
+        &self,
+        extractor: ExtractorId,
+        clip: &VideoClip,
+    ) -> Result<f64, ExtractionError> {
         if self.has_features(extractor, clip.id) {
-            return 0.0;
+            return Ok(0.0);
         }
+        self.extraction_gate(extractor, clip.id)?;
         let vectors = self.simulator.extract_clip(extractor, clip);
         let cost = self.simulator.extraction_seconds(extractor, clip);
         if let Some(scale) = self.latency_scale() {
@@ -121,25 +208,32 @@ impl FeatureManager {
             }
         });
         if !inserted {
-            return 0.0;
+            return Ok(0.0);
         }
         *self.gpu_seconds.lock() += cost;
-        cost
+        Ok(cost)
     }
 
     /// Ensures features for a set of clips; returns total GPU seconds spent
-    /// (cache hits are free).
-    pub fn ensure_clips(&self, extractor: ExtractorId, clips: &[&VideoClip]) -> f64 {
-        clips
-            .iter()
-            .map(|c| self.ensure_clip(extractor, c))
-            // ve-lint: allow(float-reduction-order) -- slice iteration order is fixed
-            .sum::<f64>()
+    /// (cache hits are free). Stops at the first clip whose extraction gave
+    /// up — earlier clips stay extracted and charged.
+    pub fn ensure_clips(
+        &self,
+        extractor: ExtractorId,
+        clips: &[&VideoClip],
+    ) -> Result<f64, ExtractionError> {
+        let mut total = 0.0;
+        for c in clips {
+            total += self.ensure_clip(extractor, c)?;
+        }
+        Ok(total)
     }
 
     /// Returns the cached feature vector covering `range` within `vid`,
-    /// extracting the whole clip on demand if necessary. Returns `None` only
-    /// when the video is unknown to the corpus.
+    /// extracting the whole clip on demand if necessary. Returns `None` when
+    /// the video is unknown to the corpus, or when its extraction permanently
+    /// failed (graceful degradation: the caller proceeds without the
+    /// feature, and the video stays pending).
     pub fn feature_for(
         &self,
         extractor: ExtractorId,
@@ -160,7 +254,8 @@ impl FeatureManager {
 
     /// Runs `f` over the contiguous feature windows of a video (extracting on
     /// demand), without copying any embedding data out of the store. Returns
-    /// `None` only when the video is unknown to the corpus.
+    /// `None` when the video is unknown to the corpus or its extraction
+    /// permanently failed (the feature is simply absent — callers degrade).
     ///
     /// This is the hot-path accessor: the ALM's candidate assembly and batch
     /// prediction read rows as zero-copy views from inside the closure.
@@ -172,7 +267,10 @@ impl FeatureManager {
         f: impl FnOnce(&ve_storage::VideoFeatures) -> R,
     ) -> Option<R> {
         let clip = corpus.get(vid)?;
-        self.ensure_clip(extractor, clip);
+        // A permanently failed extraction leaves the store entry absent, so
+        // the closure never runs and the caller sees `None` — that absence
+        // *is* the degradation contract.
+        let _ = self.ensure_clip(extractor, clip);
         self.storage.with_features(|s| s.get(extractor, vid).map(f))
     }
 
@@ -186,7 +284,7 @@ impl FeatureManager {
         let Some(clip) = corpus.get(vid) else {
             return Vec::new();
         };
-        self.ensure_clip(extractor, clip);
+        let _ = self.ensure_clip(extractor, clip);
         self.storage.with_features(|f| {
             f.get(extractor, vid)
                 .map(|v| v.to_vectors())
@@ -218,9 +316,9 @@ mod tests {
         let (ds, fm) = setup();
         let clip = &ds.train.videos()[0];
         assert!(!fm.has_features(ExtractorId::R3d, clip.id));
-        let c1 = fm.ensure_clip(ExtractorId::R3d, clip);
+        let c1 = fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
         assert!(c1 > 0.0);
-        let c2 = fm.ensure_clip(ExtractorId::R3d, clip);
+        let c2 = fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
         assert_eq!(c2, 0.0, "second extraction must be a cache hit");
         assert!((fm.gpu_seconds_spent() - c1).abs() < 1e-12);
         assert!(fm.has_features(ExtractorId::R3d, clip.id));
@@ -275,7 +373,7 @@ mod tests {
                 .map(|_| {
                     let fm = std::sync::Arc::clone(&fm);
                     let clip = clip.clone();
-                    scope.spawn(move || fm.ensure_clip(ExtractorId::R3d, &clip))
+                    scope.spawn(move || fm.ensure_clip(ExtractorId::R3d, &clip).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
@@ -296,14 +394,65 @@ mod tests {
         let clip = &ds.train.videos()[0];
         let cost = fm.extraction_cost(ExtractorId::R3d, clip);
         let start = std::time::Instant::now();
-        fm.ensure_clip(ExtractorId::R3d, clip);
+        fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
         assert!(start.elapsed().as_secs_f64() >= cost * 1e-3 * 0.5);
         // Cache hits never sleep.
         let start = std::time::Instant::now();
-        fm.ensure_clip(ExtractorId::R3d, clip);
+        fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
         assert!(start.elapsed().as_secs_f64() < 0.05);
         fm.set_latency_scale(None);
         assert_eq!(fm.latency_scale(), None);
+    }
+
+    #[test]
+    fn transient_faults_succeed_within_the_retry_budget() {
+        use ve_sched::fault::{FaultPlan, FaultRule};
+        let (ds, mut fm) = setup();
+        // Every attempt below index 2 fails; budget of 3 always succeeds.
+        fm.set_fault_injector(
+            Some(Arc::new(FaultInjector::new(FaultPlan::uniform(
+                13,
+                FaultRule::transient(1.0, 2),
+            )))),
+            RetryPolicy::new(3, 0.0, 1.0),
+        );
+        let clip = &ds.train.videos()[0];
+        let cost = fm.ensure_clip(ExtractorId::R3d, clip).unwrap();
+        assert!(cost > 0.0, "transient faults are invisible to the caller");
+        assert!(fm.has_features(ExtractorId::R3d, clip.id));
+    }
+
+    #[test]
+    fn permanent_fault_leaves_video_pending_and_uncharged() {
+        use ve_sched::fault::{FaultPlan, FaultRule};
+        let (ds, mut fm) = setup();
+        fm.set_fault_injector(
+            Some(Arc::new(FaultInjector::new(FaultPlan::uniform(
+                13,
+                FaultRule::permanent(1.0),
+            )))),
+            RetryPolicy::new(2, 0.0, 1.0),
+        );
+        let clip = &ds.train.videos()[0];
+        let err = fm.ensure_clip(ExtractorId::R3d, clip).unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert_eq!(err.vid, clip.id);
+        assert!(!fm.has_features(ExtractorId::R3d, clip.id));
+        assert_eq!(fm.gpu_seconds_spent(), 0.0, "failed work is not charged");
+        // The degraded accessors see an absent feature, not a panic.
+        assert!(fm
+            .feature_for(
+                ExtractorId::R3d,
+                &ds.train,
+                clip.id,
+                &TimeRange::new(0.0, 1.0)
+            )
+            .is_none());
+        assert!(fm
+            .clip_features(ExtractorId::R3d, &ds.train, clip.id)
+            .is_empty());
+        // Retrying replays the identical decision: still failing.
+        assert!(fm.ensure_clip(ExtractorId::R3d, clip).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::alm::SelectionStats;
 use crate::config::{PreprocessPolicy, VocalExploreConfig};
+use crate::degradation::Degradation;
 use crate::model_manager::FittedModel;
 use crate::system::VocalExplore;
 use std::collections::HashMap;
@@ -248,6 +249,9 @@ pub struct SessionOutcome {
     /// them (the determinism tests compare this sequence between the
     /// synchronous and async execution paths).
     pub labels: Vec<LabelRecord>,
+    /// Every fault the session absorbed instead of aborting (empty without a
+    /// configured fault plan), in deterministic recording order.
+    pub degradations: Vec<Degradation>,
 }
 
 impl SessionOutcome {
@@ -272,6 +276,7 @@ impl SessionOutcome {
         if scores.is_empty() {
             0.0
         } else {
+            // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
             scores.iter().sum::<f64>() / scores.len() as f64
         }
     }
@@ -283,6 +288,7 @@ impl SessionOutcome {
         if scores.is_empty() {
             0.0
         } else {
+            // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
             scores.iter().sum::<f64>() / scores.len() as f64
         }
     }
@@ -369,6 +375,8 @@ impl SessionRunner {
                 acquisition,
                 videos_extracted_for_call: 0,
                 extraction_secs: 0.0,
+                candidates_lost: 0,
+                coverage_fallback: false,
             });
 
             // --- The oracle labels every returned segment.
@@ -436,6 +444,7 @@ impl SessionRunner {
             feature_selected_at,
             final_extractor: system.current_extractor(),
             labels: system.label_records(),
+            degradations: system.drain_degradations(),
         }
     }
 
@@ -454,9 +463,11 @@ impl SessionRunner {
                 extractors
                     .iter()
                     .map(|&e| system.feature_manager().extraction_cost(e, clip))
+                    // ve-lint: allow(float-reduction-order) -- Vec iteration order is fixed
                     .sum::<f64>()
             })
-            .sum()
+            // ve-lint: allow(float-reduction-order) -- slice iteration order is fixed
+            .sum::<f64>()
     }
 
     /// Macro F1 of the current model on the held-out evaluation set. Uses one

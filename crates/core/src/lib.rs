@@ -45,6 +45,7 @@ pub mod acquisition_index;
 pub mod alm;
 pub mod api;
 pub mod config;
+pub mod degradation;
 pub mod feature_manager;
 pub mod harness;
 pub mod model_manager;
@@ -59,9 +60,10 @@ pub use config::{
     CostModel, FeatureSelectionPolicy, PreprocessPolicy, SamplingPolicy, VocalExploreConfig,
     WarmStartConfig,
 };
-pub use feature_manager::FeatureManager;
+pub use degradation::Degradation;
+pub use feature_manager::{ExtractionError, FeatureManager};
 pub use harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
-pub use model_manager::{ModelManager, TrainingStats};
+pub use model_manager::{InferenceError, ModelManager, TrainError, TrainingStats};
 pub use prob_cache::{ProbCacheStats, ProbabilityCache};
 pub use session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
 pub use system::VocalExplore;

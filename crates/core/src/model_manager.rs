@@ -20,8 +20,84 @@ use ve_ml::{
     Classifier, CrossValConfig, OneVsRestModel, ScalerMoments, SoftmaxModel, StandardScaler,
     TrainedModel,
 };
+use ve_sched::fault::{FaultInjector, FaultSite};
 use ve_storage::{LabelRecord, ModelRegistry};
 use ve_vidsim::{TaskKind, TimeRange, VideoCorpus, VideoId};
+
+/// Training failed after exhausting the retry budget (injected
+/// training-backend fault). The previous model version, if any, remains
+/// published and keeps serving predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainError {
+    /// Extractor whose training request failed.
+    pub extractor: ExtractorId,
+    /// Session iteration the request belonged to.
+    pub iteration: u32,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training {:?} failed at iteration {} after {} attempts",
+            self.extractor, self.iteration, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Inference failed after exhausting the retry budget (injected
+/// inference-backend fault).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InferenceError {
+    /// Row inference for one segment failed.
+    Row {
+        /// Extractor the prediction was requested from.
+        extractor: ExtractorId,
+        /// Segment video.
+        vid: VideoId,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The batch scoring backend failed for an extractor/model version.
+    Batch {
+        /// Extractor the batch scoring was requested from.
+        extractor: ExtractorId,
+        /// Registry version of the model the batch would have used.
+        model_version: u64,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceError::Row {
+                extractor,
+                vid,
+                attempts,
+            } => write!(
+                f,
+                "row inference with {extractor:?} failed for video {} after {attempts} attempts",
+                vid.0
+            ),
+            InferenceError::Batch {
+                extractor,
+                model_version,
+                attempts,
+            } => write!(
+                f,
+                "batch inference with {extractor:?} (model v{model_version}) failed after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
 
 /// A published model together with the scaler fitted on its training data.
 #[derive(Debug, Clone)]
@@ -83,6 +159,9 @@ pub struct ModelManager {
     registry: RwLock<ModelRegistry<FittedModel>>,
     warm: Mutex<HashMap<ExtractorId, WarmState>>,
     stats: Mutex<TrainingStats>,
+    /// Deterministic fault injector shared with the rest of the system
+    /// ([`crate::VocalExploreConfig::fault_plan`]); `None` in production runs.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl ModelManager {
@@ -93,7 +172,38 @@ impl ModelManager {
             registry: RwLock::new(ModelRegistry::new()),
             warm: Mutex::new(HashMap::new()),
             stats: Mutex::new(TrainingStats::default()),
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the shared fault injector. Training and inference
+    /// consult it through [`VocalExploreConfig::retry`]-bounded gates.
+    pub fn set_fault_injector(&mut self, fault: Option<Arc<FaultInjector>>) {
+        self.fault = fault;
+    }
+
+    /// Decision key for a training request: one fate per
+    /// `(iteration, extractor)` pair, so sync-path internal retries and
+    /// async-path executor retries replay the identical schedule.
+    fn train_key(extractor: ExtractorId, iteration: u32) -> u64 {
+        (u64::from(iteration) << 3) | extractor.index() as u64
+    }
+
+    /// Consults the injector for attempts `0..retry.max_attempts` at one
+    /// site/key. `Ok` as soon as an attempt is allowed through;
+    /// `Err(attempts)` when the whole budget was burned. Purely logical —
+    /// no sleeping, so the sync path stays wall-clock-free.
+    fn fault_gate(&self, site: FaultSite, key: u64) -> Result<(), u32> {
+        let Some(inj) = &self.fault else {
+            return Ok(());
+        };
+        let max = self.config.retry.max_attempts.max(1);
+        for attempt in 0..max {
+            if !inj.should_fail(site, key, attempt) {
+                return Ok(());
+            }
+        }
+        Err(max)
     }
 
     /// Counters of how training requests were satisfied so far.
@@ -155,7 +265,62 @@ impl ModelManager {
     /// replay sample (`warm-start/v1` tolerance contract); otherwise — and
     /// for the first trainable call, or after a feature-geometry change —
     /// it trains from scratch.
+    ///
+    /// Errors when the fault injector fails the `(iteration, extractor)`
+    /// training request at every attempt of the retry budget. On error
+    /// nothing is published: the registry keeps serving the previous version.
     pub fn train(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+        iteration: u32,
+        cv_f1: Option<f64>,
+    ) -> Result<bool, TrainError> {
+        self.fault_gate(FaultSite::Training, Self::train_key(extractor, iteration))
+            .map_err(|attempts| TrainError {
+                extractor,
+                iteration,
+                attempts,
+            })?;
+        Ok(self.train_inner(extractor, corpus, fm, labels, iteration, cv_f1))
+    }
+
+    /// Single-attempt variant of [`ModelManager::train`] for executor-level
+    /// retry: consults the injector exactly once at `attempt` (same decision
+    /// key as `train`, so the async retry loop replays the sync schedule) and
+    /// trains only when that attempt is allowed through.
+    #[allow(clippy::too_many_arguments)] // mirrors `train` plus the attempt index
+    pub fn train_attempt(
+        &self,
+        extractor: ExtractorId,
+        corpus: &VideoCorpus,
+        fm: &FeatureManager,
+        labels: &[LabelRecord],
+        iteration: u32,
+        cv_f1: Option<f64>,
+        attempt: u32,
+    ) -> Result<bool, TrainError> {
+        if let Some(inj) = &self.fault {
+            if inj.should_fail(
+                FaultSite::Training,
+                Self::train_key(extractor, iteration),
+                attempt,
+            ) {
+                return Err(TrainError {
+                    extractor,
+                    iteration,
+                    attempts: attempt + 1,
+                });
+            }
+        }
+        Ok(self.train_inner(extractor, corpus, fm, labels, iteration, cv_f1))
+    }
+
+    /// The fault-free training path shared by [`ModelManager::train`] and
+    /// [`ModelManager::train_attempt`].
+    fn train_inner(
         &self,
         extractor: ExtractorId,
         corpus: &VideoCorpus,
@@ -325,9 +490,18 @@ impl ModelManager {
         WarmOutcome::Published
     }
 
+    /// Decision key for a row-inference request: one fate per
+    /// `(vid, range.start, extractor)` triple.
+    fn row_key(extractor: ExtractorId, vid: VideoId, range: &TimeRange) -> u64 {
+        (vid.0 << 3 | extractor.index() as u64) ^ range.start.to_bits().rotate_left(17)
+    }
+
     /// Predictions for a video segment from the latest model of the given
     /// extractor, sorted by decreasing probability. Empty when no model has
     /// been trained yet or the video is unknown.
+    ///
+    /// Errors when the fault injector fails this segment's inference at every
+    /// attempt of the retry budget.
     pub fn predict(
         &self,
         extractor: ExtractorId,
@@ -335,12 +509,21 @@ impl ModelManager {
         fm: &FeatureManager,
         vid: VideoId,
         range: &TimeRange,
-    ) -> Vec<Prediction> {
+    ) -> Result<Vec<Prediction>, InferenceError> {
         let Some((_, fitted)) = self.registry.read().latest(extractor) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
+        self.fault_gate(
+            FaultSite::RowInference,
+            Self::row_key(extractor, vid, range),
+        )
+        .map_err(|attempts| InferenceError::Row {
+            extractor,
+            vid,
+            attempts,
+        })?;
         let Some(fv) = fm.feature_for(extractor, corpus, vid, range) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let scaled = fitted.scaler.transform(&fv.data);
         let probs = fitted.model.predict_proba(&scaled);
@@ -353,7 +536,7 @@ impl ModelManager {
         // executor-submitted closures, where a NaN probability must degrade
         // to a deterministic (if useless) order, not poison the task.
         predictions.sort_by(|a, b| b.probability.total_cmp(&a.probability));
-        predictions
+        Ok(predictions)
     }
 
     /// Predictions for a whole batch of segments from the latest model of the
@@ -361,19 +544,52 @@ impl ModelManager {
     /// data-parallel workers — each segment is coarse enough to be worth a
     /// task by itself). Output is position-ordered and identical at any
     /// thread count. Returns empty prediction lists when no model exists.
+    ///
+    /// When any segment's inference exhausts its retry budget the whole batch
+    /// errors with the failure at the **lowest segment index** — fault
+    /// decisions are pure per segment, so which error surfaces does not
+    /// depend on worker scheduling.
     pub fn predict_batch(
         &self,
         extractor: ExtractorId,
         corpus: &VideoCorpus,
         fm: &FeatureManager,
         segments: &[(VideoId, TimeRange)],
-    ) -> Vec<Vec<Prediction>> {
+    ) -> Result<Vec<Vec<Prediction>>, InferenceError> {
         if !self.has_model(extractor) {
-            return segments.iter().map(|_| Vec::new()).collect();
+            return Ok(segments.iter().map(|_| Vec::new()).collect());
         }
         ve_sched::parallel::par_map_tasks(segments.len(), |i| {
             let (vid, range) = &segments[i];
             self.predict(extractor, corpus, fm, *vid, range)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Consults the injector for the batch-probability backend of this
+    /// extractor, keyed on the latest published model version (so a retrain
+    /// heals a previously failing batch path and vice versa). The ALM calls
+    /// this **before** choosing between the probability cache and the
+    /// uncached scoring path, keeping cache-on/off runs bit-identical under
+    /// faults. `Ok` when no model exists — there is nothing to infer with.
+    pub fn batch_inference_gate(&self, extractor: ExtractorId) -> Result<(), InferenceError> {
+        let version = self
+            .registry
+            .read()
+            .latest(extractor)
+            .map(|(rec, _)| rec.version);
+        let Some(model_version) = version else {
+            return Ok(());
+        };
+        self.fault_gate(
+            FaultSite::BatchInference,
+            (model_version << 3) | extractor.index() as u64,
+        )
+        .map_err(|attempts| InferenceError::Batch {
+            extractor,
+            model_version,
+            attempts,
         })
     }
 
@@ -505,6 +721,7 @@ impl ModelManager {
         if scores.is_empty() {
             None
         } else {
+            // ve-lint: allow(float-reduction-order) -- fold scores accumulate in fixed fold order (Vec iteration)
             Some(scores.iter().sum::<f64>() / scores.len() as f64)
         }
     }
@@ -556,24 +773,30 @@ mod tests {
     #[test]
     fn refuses_to_train_with_too_few_labels() {
         let (ds, fm, mm, labels) = setup(1);
-        assert!(!mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        assert!(!mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None)
+            .unwrap());
         assert!(!mm.has_model(ExtractorId::R3d));
     }
 
     #[test]
     fn trains_and_predicts() {
         let (ds, fm, mm, labels) = setup(60);
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None)
+            .unwrap());
         assert!(mm.has_model(ExtractorId::R3d));
         assert_eq!(mm.models_trained(), 1);
         let clip = &ds.train.videos()[70];
-        let preds = mm.predict(
-            ExtractorId::R3d,
-            &ds.train,
-            &fm,
-            clip.id,
-            &TimeRange::new(0.0, 1.0),
-        );
+        let preds = mm
+            .predict(
+                ExtractorId::R3d,
+                &ds.train,
+                &fm,
+                clip.id,
+                &TimeRange::new(0.0, 1.0),
+            )
+            .unwrap();
         assert_eq!(preds.len(), 9, "one probability per vocabulary class");
         // Sorted by decreasing probability and sums to ~1.
         assert!(preds
@@ -595,6 +818,7 @@ mod tests {
                 clip.id,
                 &TimeRange::new(0.0, 1.0)
             )
+            .unwrap()
             .is_empty());
         assert!(mm
             .predict_proba_batch(
@@ -607,7 +831,9 @@ mod tests {
     #[test]
     fn predict_batch_matches_single_segment_predictions() {
         let (ds, fm, mm, labels) = setup(60);
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None)
+            .unwrap());
         let segments: Vec<(VideoId, TimeRange)> = ds
             .train
             .videos()
@@ -616,16 +842,21 @@ mod tests {
             .take(6)
             .map(|c| (c.id, TimeRange::new(0.0, 1.0)))
             .collect();
-        let batch = mm.predict_batch(ExtractorId::R3d, &ds.train, &fm, &segments);
+        let batch = mm
+            .predict_batch(ExtractorId::R3d, &ds.train, &fm, &segments)
+            .unwrap();
         assert_eq!(batch.len(), segments.len());
         for (preds, (vid, range)) in batch.iter().zip(&segments) {
             assert_eq!(
                 preds,
                 &mm.predict(ExtractorId::R3d, &ds.train, &fm, *vid, range)
+                    .unwrap()
             );
         }
         // Without a model every segment gets an empty prediction list.
-        let empty = mm.predict_batch(ExtractorId::Clip, &ds.train, &fm, &segments);
+        let empty = mm
+            .predict_batch(ExtractorId::Clip, &ds.train, &fm, &segments)
+            .unwrap();
         assert!(empty.iter().all(|p| p.is_empty()));
     }
 
@@ -672,15 +903,19 @@ mod tests {
                 }
             })
             .collect();
-        assert!(mm.train(ExtractorId::Clip, &ds.train, &fm, &labels, 0, None));
+        assert!(mm
+            .train(ExtractorId::Clip, &ds.train, &fm, &labels, 0, None)
+            .unwrap());
         let clip = &ds.train.videos()[90];
-        let preds = mm.predict(
-            ExtractorId::Clip,
-            &ds.train,
-            &fm,
-            clip.id,
-            &TimeRange::new(0.0, 1.5),
-        );
+        let preds = mm
+            .predict(
+                ExtractorId::Clip,
+                &ds.train,
+                &fm,
+                clip.id,
+                &TimeRange::new(0.0, 1.5),
+            )
+            .unwrap();
         assert_eq!(preds.len(), 6);
         // Multi-label probabilities need not sum to one.
         assert!(preds.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
@@ -692,8 +927,12 @@ mod tests {
     #[test]
     fn retraining_publishes_new_version() {
         let (ds, fm, mm, labels) = setup(60);
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, Some(0.4)));
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, Some(0.5)));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, Some(0.4))
+            .unwrap());
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, Some(0.5))
+            .unwrap());
         assert_eq!(mm.models_trained(), 2);
         assert!(mm.latest(ExtractorId::R3d).is_some());
     }
@@ -712,10 +951,14 @@ mod tests {
     #[test]
     fn warm_training_fine_tunes_with_bounded_examples() {
         let (ds, fm, mm, labels) = warm_setup(90);
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..70], 0, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels[..70], 0, None)
+            .unwrap());
         let after_cold = mm.training_stats();
         assert_eq!((after_cold.cold_trains, after_cold.warm_trains), (1, 0));
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None)
+            .unwrap());
         let stats = mm.training_stats();
         assert_eq!((stats.cold_trains, stats.warm_trains), (1, 1));
         // Warm update consumed replay (≤ 64) + Δ (20 records), not all 90.
@@ -739,9 +982,15 @@ mod tests {
         let probes: Vec<Vec<Prediction>> = (0..2)
             .map(|_| {
                 let (ds, fm, mm, labels) = warm_setup(90);
-                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..60], 0, None));
-                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..75], 1, None));
-                assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 2, None));
+                assert!(mm
+                    .train(ExtractorId::R3d, &ds.train, &fm, &labels[..60], 0, None)
+                    .unwrap());
+                assert!(mm
+                    .train(ExtractorId::R3d, &ds.train, &fm, &labels[..75], 1, None)
+                    .unwrap());
+                assert!(mm
+                    .train(ExtractorId::R3d, &ds.train, &fm, &labels, 2, None)
+                    .unwrap());
                 let clip = &ds.train.videos()[95];
                 mm.predict(
                     ExtractorId::R3d,
@@ -750,6 +999,7 @@ mod tests {
                     clip.id,
                     &TimeRange::new(0.0, 1.0),
                 )
+                .unwrap()
             })
             .collect();
         assert_eq!(probes[0], probes[1]);
@@ -761,18 +1011,24 @@ mod tests {
         // the fine-tuned model's held-out accuracy must stay within 0.15 of
         // the from-scratch model's.
         let (ds, fm, cold_mm, labels) = setup(90);
-        assert!(cold_mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        assert!(cold_mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None)
+            .unwrap());
         let (_, _, warm_mm, _) = warm_setup(90);
-        assert!(warm_mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..50], 0, None));
+        assert!(warm_mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels[..50], 0, None)
+            .unwrap());
         for (i, upto) in [60, 70, 80, 90].into_iter().enumerate() {
-            assert!(warm_mm.train(
-                ExtractorId::R3d,
-                &ds.train,
-                &fm,
-                &labels[..upto],
-                i as u32 + 1,
-                None
-            ));
+            assert!(warm_mm
+                .train(
+                    ExtractorId::R3d,
+                    &ds.train,
+                    &fm,
+                    &labels[..upto],
+                    i as u32 + 1,
+                    None
+                )
+                .unwrap());
         }
         let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
         let accuracy = |mm: &ModelManager| {
@@ -782,7 +1038,9 @@ mod tests {
                 .filter(|clip| {
                     let range = TimeRange::new(0.0, 1.0);
                     let truth = oracle.label(&ds.train, clip.id, &range);
-                    let preds = mm.predict(ExtractorId::R3d, &ds.train, &fm, clip.id, &range);
+                    let preds = mm
+                        .predict(ExtractorId::R3d, &ds.train, &fm, clip.id, &range)
+                        .unwrap();
                     preds.first().map(|p| p.class) == truth.first().copied()
                 })
                 .count();
@@ -799,12 +1057,18 @@ mod tests {
     #[test]
     fn warm_state_survives_empty_delta_and_rewinds_to_cold() {
         let (ds, fm, mm, labels) = warm_setup(70);
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 0, None)
+            .unwrap());
         // No new labels: replay-only fine-tune still publishes a version.
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels, 1, None)
+            .unwrap());
         assert_eq!(mm.training_stats().warm_trains, 1);
         // A rewound (shorter) label list discards the state and cold-starts.
-        assert!(mm.train(ExtractorId::R3d, &ds.train, &fm, &labels[..40], 2, None));
+        assert!(mm
+            .train(ExtractorId::R3d, &ds.train, &fm, &labels[..40], 2, None)
+            .unwrap());
         let stats = mm.training_stats();
         assert_eq!((stats.cold_trains, stats.warm_trains), (2, 1));
         assert_eq!(mm.models_trained(), 3);

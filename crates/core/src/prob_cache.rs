@@ -179,14 +179,16 @@ mod tests {
                 }
             })
             .collect();
-        assert!(mm.train(
-            ve_features::ExtractorId::R3d,
-            &ds.train,
-            &fm,
-            &labels,
-            0,
-            None
-        ));
+        assert!(mm
+            .train(
+                ve_features::ExtractorId::R3d,
+                &ds.train,
+                &fm,
+                &labels,
+                0,
+                None
+            )
+            .unwrap());
         let block = FeatureBlock::from_nested(
             &ds.train
                 .videos()
@@ -270,7 +272,7 @@ mod tests {
                 }
             })
             .collect();
-        assert!(mm.train(e, &ds.train, &fm, &labels, 1, None));
+        assert!(mm.train(e, &ds.train, &fm, &labels, 1, None).unwrap());
         let got = cache.probs_for(&block, 1, &eligible, &mm, e);
         assert_eq!(cache.stats().invalidations, 2);
         let want = mm.predict_proba_batch(e, &block.gather(&eligible));

@@ -35,13 +35,17 @@
 //! `compute_threads` setting, which the determinism tests assert.
 
 use crate::config::PreprocessPolicy;
+use crate::degradation::Degradation;
 use crate::harness::{eager_video_budget, iteration_costs_for_call, SessionConfig};
+use crate::model_manager::InferenceError;
 use crate::system::VocalExplore;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ve_al::AcquisitionKind;
 use ve_features::ExtractorId;
-use ve_sched::{iteration_latency, Executor, ExecutorStats, Priority, SchedulerStrategy};
+use ve_sched::{
+    iteration_latency, Executor, ExecutorStats, Priority, RetryPolicy, SchedulerStrategy,
+};
 use ve_storage::LabelRecord;
 use ve_vidsim::{Dataset, GroundTruthOracle, NoisyOracle, Oracle, VideoId};
 
@@ -92,6 +96,10 @@ pub struct AsyncSessionOutcome {
     pub prob_cache: crate::prob_cache::ProbCacheStats,
     /// The `time_scale` the session ran at.
     pub time_scale: f64,
+    /// Every fault the session absorbed instead of aborting, in
+    /// deterministic per-iteration order (system-ledger events first, then
+    /// the engine's own task-level events).
+    pub degradations: Vec<Degradation>,
 }
 
 fn median(mut values: Vec<f64>) -> f64 {
@@ -223,6 +231,7 @@ impl AsyncSessionRunner {
 
         let mut labels_at_last_training = 0usize;
         let mut iterations = Vec::with_capacity(cfg.iterations);
+        let mut degradations: Vec<Degradation> = Vec::new();
         // Accounting snapshot for each iteration, carried from the previous
         // labeling window: the synchronous path snapshots the pool (for the
         // then-current extractor) at `Explore` time, *before* the call's
@@ -236,6 +245,10 @@ impl AsyncSessionRunner {
             .collect();
 
         for iteration in 1..=cfg.iterations {
+            // The engine's own task-level degradations for this iteration,
+            // appended after the system ledger's at the boundary so the
+            // combined ledger has one deterministic order.
+            let mut local_degradations: Vec<Degradation> = Vec::new();
             // ---- Visible phase: the Explore call. ----
             // ve-lint: allow(wall-clock-in-logic) -- measurement is the product: this timer *is* the reported visible latency
             let visible_timer = Instant::now();
@@ -266,10 +279,24 @@ impl AsyncSessionRunner {
                         })
                     })
                     .collect();
-                handles
+                let joined: Vec<Result<Vec<crate::api::Prediction>, InferenceError>> = handles
                     .into_iter()
                     .map(|h| h.join().expect("inference task must not panic"))
-                    .collect()
+                    .collect();
+                // Degraded serving, mirroring the synchronous facade: the
+                // first failed segment (by submission order) drops the whole
+                // batch's predictions and is recorded once.
+                if let Some(err) = joined.iter().find_map(|r| r.as_ref().err()) {
+                    if let InferenceError::Row { vid, .. } = *err {
+                        local_degradations.push(Degradation::PredictionDropped {
+                            iteration: iteration as u32,
+                            vid,
+                        });
+                    }
+                    picks.iter().map(|_| Vec::new()).collect()
+                } else {
+                    joined.into_iter().map(|r| r.unwrap_or_default()).collect()
+                }
             } else {
                 picks.iter().map(|_| Vec::new()).collect::<Vec<_>>()
             };
@@ -316,17 +343,27 @@ impl AsyncSessionRunner {
                 .collect();
             pool_before.extend(eager_videos.iter().copied());
 
-            for vid in eager_videos {
-                let extractors = active.clone();
-                let (fm, corpus) = (Arc::clone(&fm), Arc::clone(&corpus));
-                executor.submit(Priority::Background, move || {
-                    if let Some(clip) = corpus.get(vid) {
-                        for &e in &extractors {
-                            fm.ensure_clip(e, clip);
+            let eager_handles: Vec<_> = eager_videos
+                .into_iter()
+                .map(|vid| {
+                    let extractors = active.clone();
+                    let (fm, corpus) = (Arc::clone(&fm), Arc::clone(&corpus));
+                    executor.submit_with_handle(Priority::Background, move || {
+                        // Per-video give-up list: a permanently failed
+                        // extraction leaves the video pending, the rest of
+                        // the round proceeds.
+                        let mut gave_up: Vec<ExtractorId> = Vec::new();
+                        if let Some(clip) = corpus.get(vid) {
+                            for &e in &extractors {
+                                if fm.ensure_clip(e, clip).is_err() {
+                                    gave_up.push(e);
+                                }
+                            }
                         }
-                    }
-                });
-            }
+                        (vid, gave_up)
+                    })
+                })
+                .collect();
 
             if !serial {
                 self.run_pending_async(
@@ -338,6 +375,7 @@ impl AsyncSessionRunner {
                     &mut labels_at_last_training,
                     iteration,
                     scale,
+                    &mut local_degradations,
                 );
             }
 
@@ -357,6 +395,22 @@ impl AsyncSessionRunner {
             executor.wait_idle();
             let spill_wall = barrier_timer.elapsed().as_secs_f64();
 
+            // Drain give-ups in submission order (deterministic regardless of
+            // which worker ran which task), then merge: system-ledger events
+            // of this iteration first, the engine's task-level events after.
+            for handle in eager_handles {
+                let (vid, gave_up) = handle.join().expect("eager task must not panic");
+                for extractor in gave_up {
+                    local_degradations.push(Degradation::ExtractionGaveUp {
+                        iteration: iteration as u32,
+                        extractor,
+                        vid,
+                    });
+                }
+            }
+            degradations.extend(system.drain_degradations());
+            degradations.append(&mut local_degradations);
+
             iterations.push(MeasuredIteration {
                 iteration,
                 labels_total: system.label_count(),
@@ -370,6 +424,7 @@ impl AsyncSessionRunner {
         }
 
         fm.set_latency_scale(None);
+        degradations.extend(system.drain_degradations());
         AsyncSessionOutcome {
             strategy,
             iterations,
@@ -378,6 +433,7 @@ impl AsyncSessionRunner {
             final_extractor: system.current_extractor(),
             prob_cache: system.alm().prob_cache_stats(),
             time_scale: scale,
+            degradations,
         }
     }
 
@@ -409,6 +465,12 @@ impl AsyncSessionRunner {
     /// `T_e` per surviving candidate extractor, then one `T_m` training task
     /// whose CV score and extractor choice depend on the fresh evaluations
     /// (exactly the synchronous ordering).
+    ///
+    /// Training runs as a *retryable* task: the executor re-runs the attempt
+    /// closure under the configured [`RetryPolicy`] and each attempt consults
+    /// the fault injector exactly once — the same `(iteration, extractor)`
+    /// decision key and attempt numbering as the synchronous path's internal
+    /// retry loop, so both paths give up (or recover) identically.
     #[allow(clippy::too_many_arguments)]
     fn run_pending_async(
         &self,
@@ -420,6 +482,7 @@ impl AsyncSessionRunner {
         labels_at_last_training: &mut usize,
         iteration: usize,
         scale: f64,
+        degradations: &mut Vec<Degradation>,
     ) {
         let cfg = &self.config.system;
         let labels = system.label_records();
@@ -465,16 +528,37 @@ impl AsyncSessionRunner {
                 Arc::clone(corpus),
                 Arc::clone(&labels),
             );
-            let handle = executor.submit_with_handle(Priority::Normal, move || {
+            // Backoff between attempts is virtual time scaled by the same
+            // `time_scale` as every other modeled cost.
+            let policy = RetryPolicy {
+                time_scale: scale,
+                ..self.config.system.retry
+            };
+            let handle = executor.submit_retryable(Priority::Normal, policy, move |attempt| {
                 sleep_scaled(train_secs, scale);
-                mm.train(extractor, &corpus, &fm, &labels_arc, iteration as u32, cv)
+                mm.train_attempt(
+                    extractor,
+                    &corpus,
+                    &fm,
+                    &labels_arc,
+                    iteration as u32,
+                    cv,
+                    attempt,
+                )
             });
             // The join blocks the session thread, but all of this happens
             // inside the labeling window — the executor trains while the
             // simulated user labels, and any excess is absorbed by the
             // boundary barrier, never by the next API call.
-            if handle.join().expect("training task must not panic") {
-                *labels_at_last_training = labels.len();
+            match handle.join_task() {
+                Ok(true) => *labels_at_last_training = labels.len(),
+                Ok(false) => {}
+                // A failed train keeps serving the previous model version —
+                // record the loss, exactly like the synchronous facade.
+                Err(_) => degradations.push(Degradation::TrainingFailed {
+                    iteration: iteration as u32,
+                    extractor,
+                }),
             }
         }
     }

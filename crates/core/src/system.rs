@@ -10,11 +10,13 @@
 use crate::alm::{ActiveLearningManager, SelectionStats};
 use crate::api::{ExploreBatch, SegmentRef};
 use crate::config::VocalExploreConfig;
+use crate::degradation::Degradation;
 use crate::feature_manager::FeatureManager;
-use crate::model_manager::ModelManager;
+use crate::model_manager::{InferenceError, ModelManager};
 use std::sync::Arc;
 use ve_al::AcquisitionKind;
 use ve_features::{ExtractorId, FeatureSimulator};
+use ve_sched::fault::FaultInjector;
 use ve_storage::{LabelRecord, StorageManager, VideoRecord};
 use ve_vidsim::{ClassId, TimeRange, VideoClip, VideoCorpus, VideoId};
 
@@ -34,6 +36,12 @@ pub struct VocalExplore {
     alm: ActiveLearningManager,
     iteration: u32,
     labels_at_last_training: usize,
+    /// Shared deterministic fault injector (built from
+    /// [`VocalExploreConfig::fault_plan`]); `None` in production runs.
+    fault: Option<Arc<FaultInjector>>,
+    /// Append-only ledger of absorbed faults, drained by
+    /// [`VocalExplore::drain_degradations`].
+    degradations: Vec<Degradation>,
 }
 
 impl VocalExplore {
@@ -47,8 +55,16 @@ impl VocalExplore {
             config.seed,
             config.feature_dim,
         );
-        let fm = Arc::new(FeatureManager::new(simulator, storage.clone()));
-        let mm = Arc::new(ModelManager::new(config.clone()));
+        let fault = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let mut fm = FeatureManager::new(simulator, storage.clone());
+        fm.set_fault_injector(fault.clone(), config.retry);
+        let fm = Arc::new(fm);
+        let mut mm = ModelManager::new(config.clone());
+        mm.set_fault_injector(fault.clone());
+        let mm = Arc::new(mm);
         let alm = ActiveLearningManager::new(config.clone());
         Self {
             config,
@@ -59,7 +75,21 @@ impl VocalExplore {
             alm,
             iteration: 0,
             labels_at_last_training: 0,
+            fault,
+            degradations: Vec::new(),
         }
+    }
+
+    /// The shared fault injector, when a fault plan is configured (exposed
+    /// for tests and the chaos harness).
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
+    }
+
+    /// Drains the absorbed-fault ledger accumulated since the last drain, in
+    /// deterministic recording order.
+    pub fn drain_degradations(&mut self) -> Vec<Degradation> {
+        std::mem::take(&mut self.degradations)
     }
 
     /// The system configuration.
@@ -195,7 +225,7 @@ impl VocalExplore {
         // The ALM's persistent acquisition index tracks the feature-bearing
         // pool by itself (via the feature store's change log), so no
         // per-call pool snapshot is assembled here anymore.
-        self.alm.select_segments(
+        let (picks, stats) = self.alm.select_segments(
             &self.corpus,
             &self.fm,
             &self.mm,
@@ -203,7 +233,20 @@ impl VocalExplore {
             budget,
             clip_len,
             target_label,
-        )
+        );
+        if stats.candidates_lost > 0 {
+            self.degradations.push(Degradation::CandidatesLost {
+                iteration: self.iteration,
+                videos: stats.candidates_lost,
+            });
+        }
+        if stats.coverage_fallback {
+            self.degradations.push(Degradation::CoverageFallback {
+                iteration: self.iteration,
+                extractor: self.alm.current_extractor(),
+            });
+        }
+        (picks, stats)
     }
 
     /// `AddLabel(vid, start, end, label)`: records the user's label(s) for a
@@ -242,7 +285,7 @@ impl VocalExplore {
                 .iter()
                 .find(|(e, _)| *e == extractor)
                 .map(|(_, s)| *s);
-            if self.mm.train(
+            match self.mm.train(
                 extractor,
                 &self.corpus,
                 &self.fm,
@@ -250,7 +293,14 @@ impl VocalExplore {
                 self.iteration,
                 cv,
             ) {
-                self.labels_at_last_training = labels.len();
+                Ok(true) => self.labels_at_last_training = labels.len(),
+                Ok(false) => {}
+                // A failed train keeps serving the previously published
+                // model version (if any) — record the loss and move on.
+                Err(err) => self.degradations.push(Degradation::TrainingFailed {
+                    iteration: err.iteration,
+                    extractor: err.extractor,
+                }),
             }
         }
         scores.len()
@@ -290,7 +340,17 @@ impl VocalExplore {
                 continue;
             };
             for &e in &extractors {
-                spent += self.fm.ensure_clip(e, clip);
+                // A permanently failed extraction leaves the video pending;
+                // a later eager round (or lazy extension) may retry it under
+                // its own fault schedule.
+                match self.fm.ensure_clip(e, clip) {
+                    Ok(cost) => spent += cost,
+                    Err(err) => self.degradations.push(Degradation::ExtractionGaveUp {
+                        iteration: self.iteration,
+                        extractor: err.extractor,
+                        vid: err.vid,
+                    }),
+                }
             }
         }
         spent
@@ -313,14 +373,27 @@ impl VocalExplore {
             && self.mm.has_model(self.alm.current_extractor())
     }
 
-    fn attach_predictions(&self, segments: Vec<(VideoId, TimeRange)>) -> Vec<SegmentRef> {
+    fn attach_predictions(&mut self, segments: Vec<(VideoId, TimeRange)>) -> Vec<SegmentRef> {
         let predictions = if self.predictions_ready() {
-            self.mm.predict_batch(
+            match self.mm.predict_batch(
                 self.alm.current_extractor(),
                 &self.corpus,
                 &self.fm,
                 &segments,
-            )
+            ) {
+                Ok(predictions) => predictions,
+                // Degraded serving: the batch is returned without
+                // predictions rather than failing the Explore/Watch call.
+                Err(err) => {
+                    if let InferenceError::Row { vid, .. } = err {
+                        self.degradations.push(Degradation::PredictionDropped {
+                            iteration: self.iteration,
+                            vid,
+                        });
+                    }
+                    segments.iter().map(|_| Vec::new()).collect()
+                }
+            }
         } else {
             segments.iter().map(|_| Vec::new()).collect()
         };
@@ -493,5 +566,48 @@ mod tests {
     fn explore_rejects_zero_clip_length() {
         let (_, mut system) = small_system(8);
         system.explore(5, 0.0, None);
+    }
+
+    #[test]
+    fn training_faults_degrade_to_unpredicted_serving_and_are_recorded() {
+        use crate::degradation::Degradation;
+        use ve_sched::fault::{FaultPlan, FaultRule, FaultSite};
+        let dataset = Dataset::scaled(DatasetName::Deer, 0.08, 9);
+        let config = VocalExploreConfig::for_dataset(&dataset, 9)
+            .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+            .with_extra_candidates(5)
+            .with_fault_plan(
+                FaultPlan::new(9).with_rule(FaultSite::Training, FaultRule::permanent(1.0)),
+            );
+        let mut system = VocalExplore::new(config);
+        for clip in dataset.train.videos() {
+            system.add_video(clip.clone());
+        }
+        let oracle = GroundTruthOracle::new(TaskKind::SingleLabel);
+        for _ in 0..4 {
+            let batch = system.explore(5, 1.0, None);
+            assert_eq!(batch.len(), 5, "selection proceeds under training faults");
+            for seg in &batch.segments {
+                let classes = oracle.label(&dataset.train, seg.vid, &seg.range);
+                system.add_label(seg.vid, seg.range, classes);
+            }
+        }
+        let batch = system.explore(5, 1.0, None);
+        assert!(
+            batch.segments.iter().all(|s| s.predictions.is_empty()),
+            "no model was ever published, so serving degrades to no predictions"
+        );
+        let degradations = system.drain_degradations();
+        assert!(
+            degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::TrainingFailed { .. })),
+            "failed trains must be recorded, got {degradations:?}"
+        );
+        assert!(
+            system.drain_degradations().is_empty(),
+            "drain empties the ledger"
+        );
+        assert!(system.fault_injector().unwrap().total_injected() > 0);
     }
 }

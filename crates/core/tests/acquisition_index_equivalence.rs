@@ -158,7 +158,7 @@ fn run_interleaving(
         match event {
             Event::Extract(n) => {
                 for clip in extraction_plan(dataset, &extracted, n) {
-                    fm.ensure_clip(EXTRACTOR, clip);
+                    fm.ensure_clip(EXTRACTOR, clip).unwrap();
                     extracted.push(clip.id);
                 }
             }
@@ -181,7 +181,8 @@ fn run_interleaving(
                 }
             }
             Event::Train => {
-                mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 0, None);
+                mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 0, None)
+                    .unwrap();
             }
             Event::Explore => {
                 let (picks, stats) = incremental.select_segments(
@@ -297,7 +298,7 @@ fn replaced_entries_and_extractor_drops_rebuild_to_from_scratch_state() {
     // Seed an out-of-order pool, some labels, and a first selection.
     let mut extracted: Vec<VideoId> = Vec::new();
     for clip in extraction_plan(dataset, &extracted, 6) {
-        fm.ensure_clip(EXTRACTOR, clip);
+        fm.ensure_clip(EXTRACTOR, clip).unwrap();
         extracted.push(clip.id);
     }
     for &vid in extracted.iter().take(2) {
@@ -334,7 +335,7 @@ fn replaced_entries_and_extractor_drops_rebuild_to_from_scratch_state() {
     let survivors: Vec<VideoId> = extracted.iter().take(4).copied().collect();
     for &vid in &survivors {
         let clip = dataset.train.get(vid).expect("from corpus");
-        fm.ensure_clip(EXTRACTOR, clip);
+        fm.ensure_clip(EXTRACTOR, clip).unwrap();
     }
     let picks = compare(&mut incremental, &labels);
     let survivor_set: std::collections::HashSet<VideoId> = survivors.into_iter().collect();
@@ -362,7 +363,7 @@ fn prob_cache_hits_between_trains_and_invalidates_on_retrain() {
 
     let mut extracted: Vec<VideoId> = Vec::new();
     for clip in extraction_plan(dataset, &extracted, 12) {
-        fm.ensure_clip(EXTRACTOR, clip);
+        fm.ensure_clip(EXTRACTOR, clip).unwrap();
         extracted.push(clip.id);
     }
     for &vid in extracted.iter().take(8) {
@@ -374,7 +375,9 @@ fn prob_cache_hits_between_trains_and_invalidates_on_retrain() {
             iteration: 0,
         });
     }
-    assert!(mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 0, None));
+    assert!(mm
+        .train(EXTRACTOR, &dataset.train, &fm, labels.records(), 0, None)
+        .unwrap());
 
     let explore = |alm: &mut ActiveLearningManager, labels: &LabelStore| {
         alm.select_segments(&dataset.train, &fm, &mm, labels, BUDGET, CLIP_LEN, None)
@@ -391,7 +394,9 @@ fn prob_cache_hits_between_trains_and_invalidates_on_retrain() {
     assert!(warm.hit_rows > 0, "unchanged model version must serve hits");
 
     // A retrain bumps the model version: the next explore recomputes.
-    assert!(mm.train(EXTRACTOR, &dataset.train, &fm, labels.records(), 1, None));
+    assert!(mm
+        .train(EXTRACTOR, &dataset.train, &fm, labels.records(), 1, None)
+        .unwrap());
     explore(&mut alm, &labels);
     let after = alm.prob_cache_stats();
     assert!(after.invalidations > warm.invalidations, "version bump");

@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 const LOCK_CLASSES: &[(&str, &str, &str)] = &[
     ("ve-sched", "state", "executor.queue"),
     ("ve-sched", "result", "executor.task_handle"),
+    ("ve-sched", "injected", "fault.injected"),
     ("ve-storage", "inner", "storage.inner"),
     ("vocalexplore", "registry", "model_registry"),
     ("vocalexplore", "warm", "mm.warm"),

@@ -38,6 +38,7 @@ impl ClassificationReport {
         if self.f1.is_empty() {
             return 0.0;
         }
+        // ve-lint: allow(float-reduction-order) -- per-class scores are in fixed class order
         self.f1.iter().sum::<f64>() / self.f1.len() as f64
     }
 
@@ -53,6 +54,7 @@ impl ClassificationReport {
         if present.is_empty() {
             0.0
         } else {
+            // ve-lint: allow(float-reduction-order) -- per-class scores are in fixed class order
             present.iter().sum::<f64>() / present.len() as f64
         }
     }

@@ -44,6 +44,8 @@ struct State {
     submitted: u64,
     completed: u64,
     failed: u64,
+    retried: u64,
+    gave_up: u64,
     in_flight: usize,
 }
 
@@ -91,6 +93,11 @@ pub struct ExecutorStats {
     pub completed: u64,
     /// Jobs that panicked while running (a subset of `completed`).
     pub failed: u64,
+    /// Failed attempts that were retried inside retryable jobs (see
+    /// [`Executor::submit_retryable`]); one increment per re-run attempt.
+    pub retried: u64,
+    /// Retryable jobs that exhausted their [`RetryPolicy`] budget.
+    pub gave_up: u64,
 }
 
 impl ExecutorStats {
@@ -153,6 +160,117 @@ impl<T> TaskHandle<T> {
     /// Whether the job has finished (its result may already have been taken).
     pub fn is_finished(&self) -> bool {
         self.shared.result.lock().is_some()
+    }
+}
+
+/// Retry behavior for a fallible job: how many attempts it gets and how long
+/// (in *virtual* seconds, converted to wall time via `time_scale`) the worker
+/// backs off between them. The backoff schedule is a pure function of the
+/// attempt index, so retries replay deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts a job gets (minimum 1).
+    pub max_attempts: u32,
+    /// Virtual seconds to wait before the first retry.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_factor: f64,
+    /// Wall seconds per virtual second of backoff; `0.0` disables sleeping
+    /// (decisions are unaffected — backoff only shapes measured latency).
+    pub time_scale: f64,
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries, no backoff.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_base_secs: 0.0,
+            backoff_factor: 1.0,
+            time_scale: 0.0,
+        }
+    }
+
+    /// `max_attempts` attempts with exponential virtual-time backoff.
+    pub fn new(max_attempts: u32, backoff_base_secs: f64, backoff_factor: f64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_base_secs,
+            backoff_factor,
+            time_scale: 0.0,
+        }
+    }
+
+    /// Sets the virtual→wall conversion used when a worker actually sleeps.
+    pub fn with_time_scale(mut self, time_scale: f64) -> Self {
+        self.time_scale = time_scale;
+        self
+    }
+
+    /// Virtual seconds of backoff before retry number `retry` (1-based).
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1)
+    }
+
+    fn backoff_wall(&self, retry: u32) -> Duration {
+        let secs = self.backoff_secs(retry) * self.time_scale;
+        if secs > 0.0 {
+            Duration::from_secs_f64(secs)
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Why a retryable job (see [`Executor::submit_retryable`]) did not produce a
+/// value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFailure<E> {
+    /// The job panicked; panics are bugs, not transient faults, so they are
+    /// never retried.
+    Panicked(JobPanicked),
+    /// The job failed on its only allowed attempt (`max_attempts == 1`).
+    Failed(E),
+    /// The job failed on every attempt and exhausted its retry budget.
+    GaveUp {
+        /// Attempts consumed (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// The error from the final attempt.
+        error: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TaskFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskFailure::Panicked(p) => write!(f, "{p}"),
+            TaskFailure::Failed(e) => write!(f, "task failed: {e}"),
+            TaskFailure::GaveUp { attempts, error } => {
+                write!(f, "task gave up after {attempts} attempts: {error}")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for TaskFailure<E> {}
+
+impl<T, E> TaskHandle<Result<T, TaskFailure<E>>> {
+    /// Joins a retryable task: panics, typed failures, and give-ups all
+    /// arrive as [`TaskFailure`] instead of a bare [`JobPanicked`].
+    pub fn join_task(self) -> Result<T, TaskFailure<E>> {
+        match self.join() {
+            Ok(inner) => inner,
+            Err(panicked) => Err(TaskFailure::Panicked(panicked)),
+        }
     }
 }
 
@@ -256,6 +374,84 @@ impl Executor {
         TaskHandle { shared }
     }
 
+    /// Submits a fallible job that is retried in place under `policy`: the
+    /// closure receives the 0-based attempt index, failed attempts back off
+    /// for a deterministic virtual-time delay (scaled by the policy's
+    /// `time_scale`), and the handle resolves to the first success or a
+    /// [`TaskFailure`] describing why the job gave up.
+    ///
+    /// All attempts run inside **one** executor job, so `submitted`/
+    /// `completed` count the operation once and [`Executor::wait_idle`]
+    /// converges exactly as for plain jobs; `retried` counts every re-run
+    /// attempt and `gave_up` counts exhausted budgets. A panicking attempt is
+    /// never retried — panics are bugs, not transient faults — and is both
+    /// stored in the handle and re-raised so the worker counts it in
+    /// [`ExecutorStats::failed`].
+    pub fn submit_retryable<T, E, F>(
+        &self,
+        priority: Priority,
+        policy: RetryPolicy,
+        mut job: F,
+    ) -> TaskHandle<Result<T, TaskFailure<E>>>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        F: FnMut(u32) -> Result<T, E> + Send + 'static,
+    {
+        let shared = Arc::new(HandleShared {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let slot = Arc::clone(&shared);
+        let inner = Arc::clone(&self.inner);
+        self.submit(priority, move || {
+            let max = policy.max_attempts.max(1);
+            let mut attempt = 0u32;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| job(attempt))) {
+                    Ok(Ok(value)) => {
+                        *slot.result.lock() = Some(Ok(Ok(value)));
+                        slot.done.notify_all();
+                        return;
+                    }
+                    Ok(Err(error)) => {
+                        attempt += 1;
+                        if attempt >= max {
+                            let failure = if max == 1 {
+                                TaskFailure::Failed(error)
+                            } else {
+                                inner.state.lock().gave_up += 1;
+                                TaskFailure::GaveUp {
+                                    attempts: attempt,
+                                    error,
+                                }
+                            };
+                            *slot.result.lock() = Some(Ok(Err(failure)));
+                            slot.done.notify_all();
+                            return;
+                        }
+                        inner.state.lock().retried += 1;
+                        let backoff = policy.backoff_wall(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        *slot.result.lock() = Some(Ok(Err(TaskFailure::Panicked(JobPanicked {
+                            message: message.clone(),
+                        }))));
+                        slot.done.notify_all();
+                        // Re-raise so the worker loop counts this job as
+                        // failed; the handle already holds the error.
+                        std::panic::resume_unwind(Box::new(message));
+                    }
+                }
+            }
+        });
+        TaskHandle { shared }
+    }
+
     /// Blocks until every submitted job has completed (including jobs that
     /// panic — see [`ExecutorStats::failed`]).
     pub fn wait_idle(&self) {
@@ -287,6 +483,8 @@ impl Executor {
             submitted: state.submitted,
             completed: state.completed,
             failed: state.failed,
+            retried: state.retried,
+            gave_up: state.gave_up,
         }
     }
 }
@@ -510,7 +708,9 @@ mod tests {
             ExecutorStats {
                 submitted: 0,
                 completed: 0,
-                failed: 0
+                failed: 0,
+                retried: 0,
+                gave_up: 0
             }
         );
     }
@@ -565,5 +765,103 @@ mod tests {
     #[test]
     fn workers_accessor() {
         assert_eq!(Executor::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn retryable_job_succeeds_after_transient_failures() {
+        let ex = Executor::new(2);
+        let handle =
+            ex.submit_retryable(Priority::Normal, RetryPolicy::new(4, 0.0, 1.0), |attempt| {
+                if attempt < 2 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            });
+        assert_eq!(handle.join_task().unwrap(), 2);
+        ex.wait_idle();
+        let stats = ex.stats();
+        assert_eq!(stats.submitted, 1, "all attempts run inside one job");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retried, 2);
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn retryable_job_gives_up_when_budget_is_exhausted() {
+        let ex = Executor::new(1);
+        let handle = ex.submit_retryable(
+            Priority::Normal,
+            RetryPolicy::new(3, 0.0, 1.0),
+            |_attempt| -> Result<(), &'static str> { Err("always broken") },
+        );
+        match handle.join_task() {
+            Err(TaskFailure::GaveUp { attempts, error }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(error, "always broken");
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+        ex.wait_idle();
+        let stats = ex.stats();
+        assert_eq!(stats.retried, 2, "two re-run attempts before giving up");
+        assert_eq!(stats.gave_up, 1);
+        assert_eq!(stats.failed, 0, "typed failure is not a panic");
+    }
+
+    #[test]
+    fn single_attempt_policy_reports_failed_not_gave_up() {
+        let ex = Executor::new(1);
+        let handle = ex.submit_retryable(
+            Priority::Normal,
+            RetryPolicy::none(),
+            |_| -> Result<(), &'static str> { Err("no retries allowed") },
+        );
+        assert!(matches!(
+            handle.join_task(),
+            Err(TaskFailure::Failed("no retries allowed"))
+        ));
+        ex.wait_idle();
+        let stats = ex.stats();
+        assert_eq!(stats.retried, 0);
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn retryable_job_panic_is_not_retried_and_counts_failed() {
+        let ex = Executor::new(2);
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let attempts = Arc::clone(&attempts);
+            ex.submit_retryable(
+                Priority::Normal,
+                RetryPolicy::new(5, 0.0, 1.0),
+                move |_| -> Result<(), &'static str> {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    panic!("attempt exploded");
+                },
+            )
+        };
+        match handle.join_task() {
+            Err(TaskFailure::Panicked(p)) => assert!(p.message.contains("attempt exploded")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        ex.wait_idle();
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "panics are not retried");
+        let stats = ex.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.retried, 0);
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_the_attempt() {
+        let policy = RetryPolicy::new(4, 0.5, 2.0);
+        assert_eq!(policy.backoff_secs(0), 0.0);
+        assert_eq!(policy.backoff_secs(1), 0.5);
+        assert_eq!(policy.backoff_secs(2), 1.0);
+        assert_eq!(policy.backoff_secs(3), 2.0);
+        assert_eq!(RetryPolicy::none().backoff_secs(1), 0.0);
     }
 }

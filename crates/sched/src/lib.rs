@@ -27,6 +27,7 @@
 
 pub mod eager;
 pub mod executor;
+pub mod fault;
 pub mod jit;
 pub mod parallel;
 pub mod queue;
@@ -35,7 +36,8 @@ pub mod strategy;
 pub mod task;
 
 pub use eager::{EagerExtractionPlan, EagerPlanner};
-pub use executor::{Executor, ExecutorStats, JobPanicked, TaskHandle};
+pub use executor::{Executor, ExecutorStats, JobPanicked, RetryPolicy, TaskFailure, TaskHandle};
+pub use fault::{FaultInjector, FaultPlan, FaultRule, FaultSite, InjectedFault};
 pub use jit::{JitTrainingPolicy, TrainingSchedule};
 pub use queue::PriorityTaskQueue;
 pub use simclock::{SimClock, SimTaskOutcome};

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
-use ve_sched::{Executor, Priority};
+use ve_sched::{Executor, Priority, RetryPolicy, TaskFailure};
 
 const PRIORITIES: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Background];
 
@@ -143,6 +143,101 @@ fn stats_converge_when_jobs_panic_under_load() {
     assert_eq!(stats.failed, panicked);
     assert_eq!(succeeded.load(Ordering::SeqCst) as u64, total - panicked);
     assert_eq!(stats.succeeded(), total - panicked);
+}
+
+#[test]
+fn retry_storm_converges_at_one_and_eight_workers() {
+    // Every job fails a known number of attempts before succeeding; the
+    // retry budget always covers it, so the storm must finish with no
+    // give-ups and an exactly predictable `retried` counter — at any
+    // worker count.
+    const JOBS: u64 = 200;
+    let policy = RetryPolicy::new(4, 0.0, 2.0);
+    for workers in [1usize, 8] {
+        let ex = Executor::new(workers);
+        let handles: Vec<_> = (0..JOBS)
+            .map(|i| {
+                ex.submit_retryable(PRIORITIES[(i % 3) as usize], policy, move |attempt| {
+                    // Job i needs `i % 4` failed attempts before succeeding
+                    // (0..=3, always within the 4-attempt budget).
+                    if u64::from(attempt) < i % 4 {
+                        Err(format!("transient #{attempt}"))
+                    } else {
+                        Ok(i * i)
+                    }
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(handle.join_task().unwrap(), i * i, "workers={workers}");
+        }
+        ex.wait_idle();
+        let stats = ex.stats();
+        let expected_retries: u64 = (0..JOBS).map(|i| i % 4).sum();
+        assert_eq!(stats.submitted, JOBS, "workers={workers}");
+        assert_eq!(stats.completed, JOBS, "workers={workers}");
+        assert_eq!(
+            stats.failed, 0,
+            "retries are not panics (workers={workers})"
+        );
+        assert_eq!(stats.retried, expected_retries, "workers={workers}");
+        assert_eq!(stats.gave_up, 0, "workers={workers}");
+    }
+}
+
+#[test]
+fn give_up_storm_with_panics_converges_and_never_hangs() {
+    // A mixed flood: a third of the jobs exhaust their retry budget, a
+    // tenth panic outright, the rest succeed first try. Counters must
+    // converge exactly and the drain barrier must return promptly.
+    const JOBS: u64 = 300;
+    let policy = RetryPolicy::new(3, 0.0, 2.0);
+    for workers in [1usize, 8] {
+        let ex = Arc::new(Executor::new(workers));
+        let mut doomed = Vec::new();
+        let mut fine = Vec::new();
+        for i in 0..JOBS {
+            if i % 10 == 7 {
+                ex.submit(PRIORITIES[(i % 3) as usize], || panic!("storm"));
+            } else if i % 3 == 0 {
+                doomed.push(ex.submit_retryable::<u64, _, _>(
+                    PRIORITIES[(i % 3) as usize],
+                    policy,
+                    move |attempt| Err(format!("permanent #{attempt}")),
+                ));
+            } else {
+                fine.push(ex.submit_retryable::<_, String, _>(
+                    PRIORITIES[(i % 3) as usize],
+                    policy,
+                    move |_| Ok(i),
+                ));
+            }
+        }
+        assert!(
+            ex.wait_for(Duration::from_secs(30)),
+            "the flood must drain (workers={workers})"
+        );
+        let doomed_count = doomed.len() as u64;
+        for handle in doomed {
+            match handle.join_task() {
+                Err(TaskFailure::GaveUp { attempts, .. }) => assert_eq!(attempts, 3),
+                other => panic!("expected give-up, got {other:?} (workers={workers})"),
+            }
+        }
+        for handle in fine {
+            assert!(handle.join_task().is_ok(), "workers={workers}");
+        }
+        let panicked = (0..JOBS).filter(|i| i % 10 == 7).count() as u64;
+        let stats = ex.stats();
+        assert_eq!(stats.submitted, JOBS, "workers={workers}");
+        assert_eq!(stats.completed, JOBS, "workers={workers}");
+        assert_eq!(stats.failed, panicked, "workers={workers}");
+        // Each doomed job burns attempts 0..3: two re-runs, one give-up.
+        assert_eq!(stats.retried, doomed_count * 2, "workers={workers}");
+        assert_eq!(stats.gave_up, doomed_count, "workers={workers}");
+        assert_eq!(stats.pending(), 0, "workers={workers}");
+    }
 }
 
 #[test]

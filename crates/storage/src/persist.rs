@@ -72,6 +72,28 @@ pub fn encode_snapshot(
     w.into_bytes()
 }
 
+/// Fault-aware variant of [`decode_snapshot`]: consults the injector's
+/// `SnapshotDecode` site (keyed by the buffer length) before decoding, so
+/// chaos tests can exercise the snapshot-corruption recovery path
+/// deterministically.
+pub fn decode_snapshot_with_fault(
+    bytes: &[u8],
+    fault: Option<&ve_sched::fault::FaultInjector>,
+) -> Result<(VideoMetadataStore, LabelStore, FeatureStore), StorageError> {
+    if let Some(inj) = fault {
+        if inj.should_fail(
+            ve_sched::fault::FaultSite::SnapshotDecode,
+            bytes.len() as u64,
+            0,
+        ) {
+            return Err(StorageError::Corrupt(
+                "injected snapshot-decode fault".into(),
+            ));
+        }
+    }
+    decode_snapshot(bytes)
+}
+
 /// Decodes a snapshot buffer back into the three stores.
 pub fn decode_snapshot(
     bytes: &[u8],
@@ -298,6 +320,24 @@ mod tests {
         );
         let (m, l, f) = decode_snapshot(&bytes).unwrap();
         assert!(m.is_empty() && l.is_empty() && f.is_empty());
+    }
+
+    #[test]
+    fn injected_snapshot_decode_fault_surfaces_as_corrupt() {
+        use ve_sched::fault::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+        let (metadata, labels, features) = sample_stores();
+        let bytes = encode_snapshot(&metadata, &labels, &features);
+        // No injector (or an uncovered site): decode succeeds.
+        assert!(decode_snapshot_with_fault(&bytes, None).is_ok());
+        let benign = FaultInjector::new(FaultPlan::new(4));
+        assert!(decode_snapshot_with_fault(&bytes, Some(&benign)).is_ok());
+        // Covered site at probability 1: deterministic Corrupt error.
+        let inj = FaultInjector::new(
+            FaultPlan::new(4).with_rule(FaultSite::SnapshotDecode, FaultRule::permanent(1.0)),
+        );
+        let err = decode_snapshot_with_fault(&bytes, Some(&inj)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err}");
+        assert_eq!(inj.injected_at(FaultSite::SnapshotDecode), 1);
     }
 
     mod proptests {

@@ -23,6 +23,8 @@ use crate::error::StorageError;
 use crate::labels::{LabelRecord, LabelStore};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use ve_sched::fault::{FaultInjector, FaultSite};
 use ve_vidsim::{TimeRange, VideoId};
 
 /// FNV-1a hash over a byte slice (used as a lightweight record checksum).
@@ -96,6 +98,13 @@ pub struct LabelWal {
     file: std::fs::File,
     records_written: usize,
     sync: WalSync,
+    /// Deterministic fault injection for append/fsync (testing only; `None`
+    /// in production paths).
+    fault: Option<Arc<FaultInjector>>,
+    /// Total `append` calls through this handle (successful or not) — the
+    /// fault-decision key, so a failed append does not pin its key and a
+    /// caller-level retry replays a fresh decision.
+    append_seq: u64,
 }
 
 /// Result of replaying a log file.
@@ -129,7 +138,17 @@ impl LabelWal {
             file,
             records_written: 0,
             sync,
+            fault: None,
+            append_seq: 0,
         })
+    }
+
+    /// Installs a deterministic fault injector exercising the `WalAppend`
+    /// (torn write) and `WalFsync` sites. Decision keys are the handle's
+    /// append sequence number, so a given call sequence fails identically on
+    /// every replay.
+    pub fn set_fault_injector(&mut self, fault: Option<Arc<FaultInjector>>) {
+        self.fault = fault;
     }
 
     /// The log's path.
@@ -158,9 +177,34 @@ impl LabelWal {
         let mut bytes = framed.into_bytes();
         bytes.extend_from_slice(&body);
         bytes.extend_from_slice(&crc.to_le_bytes());
+        let key = self.append_seq;
+        self.append_seq += 1;
+        if let Some(inj) = &self.fault {
+            if inj.should_fail(FaultSite::WalAppend, key, 0) {
+                // A torn write: only a prefix of the frame reaches the file
+                // before the (injected) I/O error. Replay must recover every
+                // record appended before this one.
+                let torn = &bytes[..bytes.len() / 2];
+                self.file.write_all(torn).map_err(StorageError::Io)?;
+                self.file.flush().map_err(StorageError::Io)?;
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected torn WAL append",
+                )));
+            }
+        }
         self.file.write_all(&bytes).map_err(StorageError::Io)?;
         self.file.flush().map_err(StorageError::Io)?;
         if self.sync == WalSync::Always {
+            if let Some(inj) = &self.fault {
+                if inj.should_fail(FaultSite::WalFsync, key, 0) {
+                    // The record reached OS buffers but durability is
+                    // unknown: the append reports the error and does not
+                    // count the record as written.
+                    return Err(StorageError::Io(std::io::Error::other(
+                        "injected WAL fsync failure",
+                    )));
+                }
+            }
             self.file.sync_data().map_err(StorageError::Io)?;
         }
         self.records_written += 1;
@@ -436,6 +480,85 @@ mod tests {
         // the caller; appending a fresh record on top of the torn tail is a
         // caller error, so recovery rewrites are exercised via `truncate`.
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_append_recovers_prefix_in_both_sync_modes() {
+        use ve_sched::fault::{FaultPlan, FaultRule};
+        for mode in [WalSync::Always, WalSync::OnClose] {
+            let path = temp_path(&format!("injected_torn_{mode:?}"));
+            std::fs::remove_file(&path).ok();
+            {
+                let mut wal = LabelWal::open_with_sync(&path, mode).unwrap();
+                for i in 0..6 {
+                    wal.append(&sample(i)).unwrap();
+                }
+                // Every append fails torn from here on.
+                wal.set_fault_injector(Some(Arc::new(FaultInjector::new(
+                    FaultPlan::new(1).with_rule(FaultSite::WalAppend, FaultRule::permanent(1.0)),
+                ))));
+                let err = wal.append(&sample(6)).unwrap_err();
+                assert!(matches!(err, StorageError::Io(_)), "append surfaced {err}");
+                assert_eq!(wal.records_written(), 6, "torn record is not counted");
+            }
+            let recovery = LabelWal::replay(&path).unwrap();
+            assert_eq!(
+                recovery.recovered_records, 6,
+                "{mode:?}: every pre-fault record must be recovered"
+            );
+            assert!(recovery.truncated, "{mode:?}: torn tail must be reported");
+            assert_eq!(recovery.labels.records()[5].vid, VideoId(5));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_as_storage_error_under_sync_always() {
+        use ve_sched::fault::{FaultPlan, FaultRule};
+        let path = temp_path("injected_fsync");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = LabelWal::open_with_sync(&path, WalSync::Always).unwrap();
+            wal.append(&sample(0)).unwrap();
+            wal.set_fault_injector(Some(Arc::new(FaultInjector::new(
+                FaultPlan::new(2).with_rule(FaultSite::WalFsync, FaultRule::permanent(1.0)),
+            ))));
+            let err = wal.append(&sample(1)).unwrap_err();
+            assert!(matches!(err, StorageError::Io(_)), "fsync surfaced {err}");
+            // The record reached OS buffers — durability, not integrity, is
+            // what the error reports — so replay still sees a valid frame.
+            wal.set_fault_injector(None);
+            wal.append(&sample(2)).unwrap();
+        }
+        let recovery = LabelWal::replay(&path).unwrap();
+        assert_eq!(recovery.recovered_records, 3);
+        assert!(!recovery.truncated);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_decisions_replay_identically_per_record_index() {
+        use ve_sched::fault::{FaultPlan, FaultRule};
+        // Same plan, two fresh logs: the set of failing record indices must
+        // be identical (decisions are pure in (seed, site, key, attempt)).
+        let outcomes: Vec<Vec<bool>> = (0..2)
+            .map(|run| {
+                let path = temp_path(&format!("fault_replay_{run}"));
+                std::fs::remove_file(&path).ok();
+                let mut wal = LabelWal::open_with_sync(&path, WalSync::OnClose).unwrap();
+                wal.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultPlan::uniform(
+                    9,
+                    FaultRule::permanent(0.5),
+                )))));
+                let results = (0..20).map(|i| wal.append(&sample(i)).is_ok()).collect();
+                drop(wal);
+                std::fs::remove_file(&path).ok();
+                results
+            })
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert!(outcomes[0].iter().any(|ok| *ok), "p=0.5 should pass some");
+        assert!(outcomes[0].iter().any(|ok| !*ok), "p=0.5 should fail some");
     }
 
     mod proptests {
