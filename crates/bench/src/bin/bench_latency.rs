@@ -26,6 +26,38 @@ struct StrategyRow {
     total_spill_wall_secs: f64,
     tasks_submitted: u64,
     tasks_failed: u64,
+    /// Paper-notation per-phase wall totals from the `ve-obs` timing plane:
+    /// selection (`T_s`), feature extraction (`T_f`), model training
+    /// (`T_m`), and inference (`T_i`) seconds. Serial runs extraction and
+    /// training inline, so its `T_f`/`T_m` task groups are legitimately
+    /// empty (zero).
+    phase_secs: [f64; 4],
+}
+
+/// Sums the timing plane into `[T_s, T_f, T_m, T_i]` seconds: the `select`
+/// session phase plus the run time of the `eager`, `train`, and `infer`
+/// executor task groups.
+fn phase_breakdown(outcome: &AsyncSessionOutcome) -> [f64; 4] {
+    let t_s: u64 = outcome
+        .phases
+        .iter()
+        .filter(|p| p.phase == "select")
+        .map(|p| p.dur_us)
+        .sum();
+    let task_total = |kind: &str| -> u64 {
+        outcome
+            .timings
+            .iter()
+            .filter(|t| t.label.kind == kind)
+            .map(|t| t.run_us())
+            .sum()
+    };
+    [
+        t_s as f64 / 1e6,
+        task_total("eager") as f64 / 1e6,
+        task_total("train") as f64 / 1e6,
+        task_total("infer") as f64 / 1e6,
+    ]
 }
 
 fn run_strategy(strategy: SchedulerStrategy, quick: bool) -> StrategyRow {
@@ -77,6 +109,7 @@ fn run_strategy(strategy: SchedulerStrategy, quick: bool) -> StrategyRow {
         total_spill_wall_secs: outcome.total_spill_wall(),
         tasks_submitted: outcome.executor.submitted,
         tasks_failed: outcome.executor.failed,
+        phase_secs: phase_breakdown(&outcome),
     }
 }
 
@@ -102,7 +135,7 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    \"{}\": {{\n      \"measured_median_visible_secs\": {:.3},\n      \"modeled_median_visible_secs\": {:.3},\n      \"total_measured_visible_secs\": {:.3},\n      \"total_spill_wall_secs\": {:.3},\n      \"tasks_submitted\": {},\n      \"tasks_failed\": {}\n    }}",
+                "    \"{}\": {{\n      \"measured_median_visible_secs\": {:.3},\n      \"modeled_median_visible_secs\": {:.3},\n      \"total_measured_visible_secs\": {:.3},\n      \"total_spill_wall_secs\": {:.3},\n      \"tasks_submitted\": {},\n      \"tasks_failed\": {},\n      \"phases\": {{\"t_s_secs\": {:.3}, \"t_f_secs\": {:.3}, \"t_m_secs\": {:.3}, \"t_i_secs\": {:.3}}}\n    }}",
                 r.name,
                 r.measured_median_visible_secs,
                 r.modeled_median_visible_secs,
@@ -110,12 +143,16 @@ fn main() {
                 r.total_spill_wall_secs,
                 r.tasks_submitted,
                 r.tasks_failed,
+                r.phase_secs[0],
+                r.phase_secs[1],
+                r.phase_secs[2],
+                r.phase_secs[3],
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"vocalexplore/bench_latency/v1\",\n  \"quick\": {quick},\n  \"strategies\": {{\n{body}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"vocalexplore/bench_latency/v2\",\n  \"quick\": {quick},\n  \"strategies\": {{\n{body}\n  }}\n}}\n"
     );
     std::fs::write("BENCH_latency.json", &json).expect("write BENCH_latency.json");
     println!("{json}");

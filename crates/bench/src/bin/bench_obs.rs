@@ -1,0 +1,176 @@
+//! Observability benchmark: writes `BENCH_obs.json` and a Chrome trace
+//! (`BENCH_obs_trace.json`) loadable in Perfetto / `chrome://tracing`.
+//!
+//! Runs one instrumented `VeFull` session on the async engine and exports
+//! what the two `ve-obs` planes saw:
+//!
+//! * **event plane** — deterministic event counts per kind (these are a pure
+//!   function of the config, so diffs in this section of the artifact are
+//!   behavior changes, not noise);
+//! * **timing plane** — per-phase wall-clock histograms (p50/p99 in µs) for
+//!   the session-thread phases (`select`, `visible`, `think`, `spill`) and
+//!   the executor task kinds (`infer`, `train`, `eager`), plus the
+//!   executor's queue-wait and depth high-water counters.
+//!
+//! The Chrome trace is structurally validated before it is written —
+//! per-track monotonic timestamps, balanced `B`/`E` pairs, and at least one
+//! complete span for every required phase — so CI fails loudly instead of
+//! committing a trace Perfetto cannot load.
+//!
+//! ```text
+//! cargo run --release -p ve-bench --bin bench_obs [-- --quick]
+//! ```
+
+use std::collections::BTreeMap;
+use ve_obs::{ChromeTrace, Histogram, PhaseTiming, TaskTiming};
+use vocalexplore::prelude::*;
+
+fn event_kind(e: &SessionEvent) -> &'static str {
+    match e {
+        SessionEvent::IndexIngest { .. } => "IndexIngest",
+        SessionEvent::CacheProbe { .. } => "CacheProbe",
+        SessionEvent::SelectionCompleted { .. } => "SelectionCompleted",
+        SessionEvent::PredictionsServed { .. } => "PredictionsServed",
+        SessionEvent::LabelAdded { .. } => "LabelAdded",
+        SessionEvent::Extracted { .. } => "Extracted",
+        SessionEvent::EvaluationCompleted { .. } => "EvaluationCompleted",
+        SessionEvent::TrainAttempt { .. } => "TrainAttempt",
+        SessionEvent::TrainCompleted { .. } => "TrainCompleted",
+        SessionEvent::Degraded(_) => "Degraded",
+    }
+}
+
+/// One per-phase row of the artifact: a histogram summarised to the fields
+/// worth diffing.
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"min_us\": {}, \"max_us\": {}}}",
+        h.total(),
+        h.p50(),
+        h.p99(),
+        h.min(),
+        h.max()
+    )
+}
+
+fn build_trace(timings: &[TaskTiming], phases: &[PhaseTiming]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    trace.name_track(0, 0, "session");
+    let mut workers: Vec<usize> = timings.iter().map(|t| t.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in workers {
+        trace.name_track(0, 1 + w as u64, &format!("worker-{w}"));
+    }
+    for p in phases {
+        trace.add_phase(p);
+    }
+    for t in timings {
+        trace.add_task(t);
+    }
+    trace
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, iterations, time_scale) = if quick {
+        (0.08, 6, 2e-2)
+    } else {
+        (0.15, 12, 1e-2)
+    };
+    let mut cfg = SessionConfig::new(DatasetName::Deer, scale, 42)
+        .with_iterations(iterations)
+        .with_eval_every(10_000);
+    cfg.system = cfg
+        .system
+        .with_strategy(SchedulerStrategy::VeFull)
+        .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+        // Pin an index-backed acquisition so the artifact exercises the
+        // acquisition-index ingest and probability-cache instrumentation.
+        .with_sampling(SamplingPolicy::Fixed(AcquisitionKind::Coreset))
+        .with_extra_candidates(5)
+        .with_time_scale(time_scale);
+    cfg.system.t_user = 4.0;
+    cfg.system.train.epochs = 40;
+    assert!(cfg.system.observability, "observability defaults on");
+
+    let outcome = AsyncSessionRunner::new(cfg).run();
+    assert_eq!(outcome.executor.pending(), 0, "executor failed to drain");
+    assert!(
+        !outcome.events.is_empty() && !outcome.timings.is_empty() && !outcome.phases.is_empty(),
+        "both planes must have recorded"
+    );
+
+    // Event plane: deterministic counts per kind.
+    let mut event_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (_, e) in &outcome.events {
+        *event_counts.entry(event_kind(e)).or_insert(0) += 1;
+    }
+
+    // Timing plane: per-phase histograms. Session-thread phases observe
+    // their duration; executor tasks observe run time, and queue wait goes
+    // into one shared histogram (it measures scheduler pressure, not the
+    // task itself).
+    let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut observe = |name: &str, v: u64| {
+        hists
+            .entry(name.to_string())
+            .or_insert_with(Histogram::with_default_bounds)
+            .observe(v);
+    };
+    for p in &outcome.phases {
+        observe(p.phase, p.dur_us);
+    }
+    for t in &outcome.timings {
+        observe(t.label.kind, t.run_us());
+        observe("queue_wait", t.queue_wait_us());
+    }
+
+    // Chrome trace, validated before anything is written.
+    let trace = build_trace(&outcome.timings, &outcome.phases);
+    let required = [
+        "select", "visible", "think", "spill", "infer", "train", "eager",
+    ];
+    let stats = trace
+        .validate(&required)
+        .expect("trace must be structurally valid");
+    eprintln!(
+        "bench_obs: {} events, {} tasks, {} phase spans; trace has {} spans on {} tracks",
+        outcome.events.len(),
+        outcome.timings.len(),
+        outcome.phases.len(),
+        stats.spans,
+        stats.tracks
+    );
+
+    let events_body = event_counts
+        .iter()
+        .map(|(k, v)| format!("      \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let phases_body = hists
+        .iter()
+        .map(|(k, h)| format!("    \"{k}\": {}", histogram_json(h)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"vocalexplore/bench_obs/v1\",\n  \"quick\": {quick},\n  \
+         \"strategy\": \"ve_full\",\n  \"iterations\": {iterations},\n  \"events\": {{\n    \
+         \"total\": {},\n    \"by_kind\": {{\n{events_body}\n    }}\n  }},\n  \
+         \"phases\": {{\n{phases_body}\n  }},\n  \"executor\": {{\n    \
+         \"submitted\": {},\n    \"queue_wait_us\": {},\n    \"depth_hwm\": [{}, {}, {}]\n  }},\n  \
+         \"trace\": {{\"tracks\": {}, \"spans\": {}}}\n}}\n",
+        outcome.events.len(),
+        outcome.executor.submitted,
+        outcome.executor.queue_wait_us,
+        outcome.executor.depth_hwm[0],
+        outcome.executor.depth_hwm[1],
+        outcome.executor.depth_hwm[2],
+        stats.tracks,
+        stats.spans,
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    std::fs::write("BENCH_obs_trace.json", trace.render_json())
+        .expect("write BENCH_obs_trace.json");
+    println!("{json}");
+}

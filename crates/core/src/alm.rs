@@ -15,6 +15,7 @@ use crate::acquisition_index::{AcquisitionIndex, AcquisitionIndexStats};
 use crate::config::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
 use crate::feature_manager::FeatureManager;
 use crate::model_manager::ModelManager;
+use crate::observability::{ObsHandle, SessionEvent};
 use crate::prob_cache::{ProbCacheStats, ProbabilityCache};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -67,6 +68,8 @@ pub struct ActiveLearningManager {
     /// persistent coverage, but the buffer itself can live across calls).
     coverage_scratch: Vec<f32>,
     rng: StdRng,
+    /// Event/metrics recorder; `None` until the owning system installs one.
+    obs: Option<ObsHandle>,
 }
 
 enum SamplingState {
@@ -107,7 +110,16 @@ impl ActiveLearningManager {
             prob_cache: ProbabilityCache::new(),
             coverage_scratch: Vec::new(),
             rng,
+            obs: None,
         }
+    }
+
+    /// Installs the observability recorder. Index ingests and
+    /// probability-cache traffic are recorded as deterministic events: both
+    /// happen on the session thread during `select_segments`, so their deltas
+    /// are pure functions of the session's inputs on either engine.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
     }
 
     /// Hit/miss counters of the probability cache (for tests, CI and the
@@ -290,7 +302,8 @@ impl ActiveLearningManager {
             Some(_) => AcquisitionKind::Uncertainty,
             None => self.current_acquisition(),
         };
-        match acquisition {
+        let cache_before = self.prob_cache.stats();
+        let out = match acquisition {
             AcquisitionKind::Random => {
                 let picks = self.random_segments(corpus, labels, budget, clip_len);
                 (
@@ -314,7 +327,16 @@ impl ActiveLearningManager {
                 acquisition,
                 target_label,
             ),
+        };
+        if let Some(obs) = &self.obs {
+            let after = self.prob_cache.stats();
+            obs.record(SessionEvent::CacheProbe {
+                hit_rows: after.hit_rows - cache_before.hit_rows,
+                miss_rows: after.miss_rows - cache_before.miss_rows,
+                invalidations: after.invalidations - cache_before.invalidations,
+            });
         }
+        out
     }
 
     /// Random sampling over unlabeled windows (metadata only, no features).
@@ -369,6 +391,12 @@ impl ActiveLearningManager {
             // could collide with it — drop the rows explicitly.
             self.prob_cache.invalidate();
         }
+        let rows_before = self
+            .index
+            .as_ref()
+            .expect("index just ensured")
+            .stats()
+            .rows;
         self.index
             .as_mut()
             .expect("index just ensured")
@@ -411,6 +439,14 @@ impl ActiveLearningManager {
                 .as_mut()
                 .expect("index ensured")
                 .sync(fm, corpus, labels);
+        }
+
+        if let Some(obs) = &self.obs {
+            let index = self.index.as_ref().expect("index ensured");
+            obs.record(SessionEvent::IndexIngest {
+                rows_added: (index.stats().rows - rows_before) as u64,
+                epoch: index.epoch(),
+            });
         }
 
         if self.index.as_ref().expect("index ensured").unmasked_rows() == 0 {

@@ -210,6 +210,11 @@ pub struct VocalExploreConfig {
     /// facade and the async session engine. The two paths share the attempt
     /// numbering, so their outcomes under a fault plan are identical.
     pub retry: RetryPolicy,
+    /// Whether the `ve-obs` sinks (deterministic event ledger, metrics
+    /// registry, executor timing plane) record. Defaults on; turning it off
+    /// reduces per-event cost to one relaxed atomic load. Degradations are
+    /// recorded regardless — they are program state, not telemetry.
+    pub observability: bool,
 }
 
 impl VocalExploreConfig {
@@ -239,6 +244,7 @@ impl VocalExploreConfig {
             time_scale: 2e-3,
             fault_plan: None,
             retry: RetryPolicy::new(3, 0.05, 2.0),
+            observability: true,
         }
     }
 
@@ -336,6 +342,14 @@ impl VocalExploreConfig {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         assert!(retry.max_attempts > 0, "need at least one attempt");
         self.retry = retry;
+        self
+    }
+
+    /// Enables or disables the observability sinks (event ledger, metrics,
+    /// executor timing plane). Selection, training, and degradation behavior
+    /// are bit-identical either way.
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 
@@ -454,6 +468,14 @@ mod tests {
         retry.max_attempts = 0;
         let _ = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0)
             .with_retry(retry);
+    }
+
+    #[test]
+    fn observability_knob_defaults_on_and_overrides() {
+        let cfg = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0);
+        assert!(cfg.observability, "sinks default on");
+        let cfg = cfg.with_observability(false);
+        assert!(!cfg.observability);
     }
 
     #[test]

@@ -11,8 +11,9 @@ use ve_features::ExtractorId;
 use ve_vidsim::VideoId;
 
 /// One absorbed fault: what failed, where, and what the system served
-/// instead.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// instead. `Ord` (variant-major, then fields) gives degradations a stable
+/// place in the observability event plane's canonical order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Degradation {
     /// A training request exhausted its retry budget. The previous model
     /// version (if any) kept serving predictions for the iteration.

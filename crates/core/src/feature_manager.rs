@@ -8,6 +8,7 @@
 //! running total of the simulated GPU seconds it has spent, which the latency
 //! accounting uses.
 
+use crate::observability::{ObsHandle, SessionEvent};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -57,6 +58,8 @@ pub struct FeatureManager {
     /// a fault is injected. Backoff sleeps only when latency simulation is
     /// on, and never affects fault decisions.
     retry: RetryPolicy,
+    /// Event/metrics recorder; `None` until the owning system installs one.
+    obs: Option<ObsHandle>,
 }
 
 impl FeatureManager {
@@ -69,7 +72,16 @@ impl FeatureManager {
             latency_scale_bits: AtomicU64::new(0),
             fault: None,
             retry: RetryPolicy::none(),
+            obs: None,
         }
+    }
+
+    /// Installs the observability recorder. `Extracted` events are recorded
+    /// by the unique publish winner of each `(extractor, clip)` — exactly
+    /// once per clip, on any path and at any thread count — so the event
+    /// plane stays deterministic even though *call* counts are not.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
     }
 
     /// Installs a deterministic fault injector (and the retry budget its
@@ -188,6 +200,11 @@ impl FeatureManager {
         clip: &VideoClip,
     ) -> Result<f64, ExtractionError> {
         if self.has_features(extractor, clip.id) {
+            // Metrics only: hit multiplicity is path- and timing-dependent,
+            // so hits never enter the deterministic event plane.
+            if let Some(obs) = &self.obs {
+                obs.inc("fm.clip_cache_hits", 1);
+            }
             return Ok(0.0);
         }
         self.extraction_gate(extractor, clip.id)?;
@@ -208,9 +225,19 @@ impl FeatureManager {
             }
         });
         if !inserted {
+            if let Some(obs) = &self.obs {
+                obs.inc("fm.clip_cache_hits", 1);
+            }
             return Ok(0.0);
         }
         *self.gpu_seconds.lock() += cost;
+        if let Some(obs) = &self.obs {
+            obs.record(SessionEvent::Extracted {
+                extractor,
+                vid: clip.id,
+            });
+            obs.inc("fm.clips_extracted", 1);
+        }
         Ok(cost)
     }
 

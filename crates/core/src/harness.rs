@@ -16,6 +16,7 @@ use crate::alm::SelectionStats;
 use crate::config::{PreprocessPolicy, VocalExploreConfig};
 use crate::degradation::Degradation;
 use crate::model_manager::FittedModel;
+use crate::observability::SessionEvent;
 use crate::system::VocalExplore;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -252,6 +253,9 @@ pub struct SessionOutcome {
     /// Every fault the session absorbed instead of aborting (empty without a
     /// configured fault plan), in deterministic recording order.
     pub degradations: Vec<Degradation>,
+    /// The deterministic event ledger in canonical order (the trace the
+    /// async engine must reproduce — see `crate::observability`).
+    pub events: Vec<(u32, SessionEvent)>,
 }
 
 impl SessionOutcome {
@@ -445,6 +449,7 @@ impl SessionRunner {
             final_extractor: system.current_extractor(),
             labels: system.label_records(),
             degradations: system.drain_degradations(),
+            events: system.obs().canonical_events(),
         }
     }
 

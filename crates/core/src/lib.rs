@@ -49,6 +49,7 @@ pub mod degradation;
 pub mod feature_manager;
 pub mod harness;
 pub mod model_manager;
+pub mod observability;
 pub mod prob_cache;
 pub mod session;
 pub mod system;
@@ -64,6 +65,7 @@ pub use degradation::Degradation;
 pub use feature_manager::{ExtractionError, FeatureManager};
 pub use harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
 pub use model_manager::{InferenceError, ModelManager, TrainError, TrainingStats};
+pub use observability::{Obs, ObsHandle, SessionEvent};
 pub use prob_cache::{ProbCacheStats, ProbabilityCache};
 pub use session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
 pub use system::VocalExplore;
@@ -76,6 +78,7 @@ pub mod prelude {
         WarmStartConfig,
     };
     pub use crate::harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
+    pub use crate::observability::{Obs, ObsHandle, SessionEvent};
     pub use crate::session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
     pub use crate::system::VocalExplore;
     pub use ve_al::AcquisitionKind;

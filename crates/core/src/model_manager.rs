@@ -12,6 +12,7 @@
 use crate::api::Prediction;
 use crate::config::VocalExploreConfig;
 use crate::feature_manager::FeatureManager;
+use crate::observability::{ObsHandle, SessionEvent};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -162,6 +163,8 @@ pub struct ModelManager {
     /// Deterministic fault injector shared with the rest of the system
     /// ([`crate::VocalExploreConfig::fault_plan`]); `None` in production runs.
     fault: Option<Arc<FaultInjector>>,
+    /// Event/metrics recorder; `None` until the owning system installs one.
+    obs: Option<ObsHandle>,
 }
 
 impl ModelManager {
@@ -173,6 +176,22 @@ impl ModelManager {
             warm: Mutex::new(HashMap::new()),
             stats: Mutex::new(TrainingStats::default()),
             fault: None,
+            obs: None,
+        }
+    }
+
+    /// Installs the observability recorder. Training attempts, published
+    /// versions, and CV evaluations are recorded as deterministic events —
+    /// both the synchronous in-place retry loop and the async executor's
+    /// retryable tasks share the per-`(iteration, extractor)` fault fate, so
+    /// the recorded attempt multisets are identical on either path.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    fn record(&self, event: SessionEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record(event);
         }
     }
 
@@ -278,12 +297,35 @@ impl ModelManager {
         iteration: u32,
         cv_f1: Option<f64>,
     ) -> Result<bool, TrainError> {
-        self.fault_gate(FaultSite::Training, Self::train_key(extractor, iteration))
-            .map_err(|attempts| TrainError {
+        // Inlined fault gate so every consulted attempt lands in the event
+        // plane — one `TrainAttempt` per attempt, exactly what the async
+        // path's per-attempt `train_attempt` calls record.
+        let key = Self::train_key(extractor, iteration);
+        let max = self.config.retry.max_attempts.max(1);
+        let mut allowed = false;
+        for attempt in 0..max {
+            let failed = self
+                .fault
+                .as_ref()
+                .is_some_and(|inj| inj.should_fail(FaultSite::Training, key, attempt));
+            self.record(SessionEvent::TrainAttempt {
                 extractor,
                 iteration,
-                attempts,
-            })?;
+                attempt,
+                ok: !failed,
+            });
+            if !failed {
+                allowed = true;
+                break;
+            }
+        }
+        if !allowed {
+            return Err(TrainError {
+                extractor,
+                iteration,
+                attempts: max,
+            });
+        }
         Ok(self.train_inner(extractor, corpus, fm, labels, iteration, cv_f1))
     }
 
@@ -302,18 +344,25 @@ impl ModelManager {
         cv_f1: Option<f64>,
         attempt: u32,
     ) -> Result<bool, TrainError> {
-        if let Some(inj) = &self.fault {
-            if inj.should_fail(
+        let failed = self.fault.as_ref().is_some_and(|inj| {
+            inj.should_fail(
                 FaultSite::Training,
                 Self::train_key(extractor, iteration),
                 attempt,
-            ) {
-                return Err(TrainError {
-                    extractor,
-                    iteration,
-                    attempts: attempt + 1,
-                });
-            }
+            )
+        });
+        self.record(SessionEvent::TrainAttempt {
+            extractor,
+            iteration,
+            attempt,
+            ok: !failed,
+        });
+        if failed {
+            return Err(TrainError {
+                extractor,
+                iteration,
+                attempts: attempt + 1,
+            });
         }
         Ok(self.train_inner(extractor, corpus, fm, labels, iteration, cv_f1))
     }
@@ -383,13 +432,18 @@ impl ModelManager {
                 },
             );
         }
-        self.registry.write().publish(
+        let version = self.registry.write().publish(
             extractor,
             features.len(),
             iteration,
             cv_f1,
             Arc::new(FittedModel { scaler, model }),
         );
+        self.record(SessionEvent::TrainCompleted {
+            extractor,
+            iteration,
+            version,
+        });
         true
     }
 
@@ -480,13 +534,18 @@ impl ModelManager {
             stats.warm_trains += 1;
             stats.last_examples = idx.len();
         }
-        self.registry.write().publish(
+        let version = self.registry.write().publish(
             extractor,
             trained_on,
             iteration,
             cv_f1,
             Arc::new(FittedModel { scaler, model }),
         );
+        self.record(SessionEvent::TrainCompleted {
+            extractor,
+            iteration,
+            version,
+        });
         WarmOutcome::Published
     }
 
@@ -643,7 +702,7 @@ impl ModelManager {
         if features.len() < 6 {
             return None;
         }
-        match self.config.task {
+        let score = match self.config.task {
             TaskKind::SingleLabel => {
                 let cfg = CrossValConfig {
                     train: self.config.train,
@@ -663,7 +722,16 @@ impl ModelManager {
                     .map(|score| score * kept as f64 / self.config.num_classes as f64)
             }
             TaskKind::MultiLabel => self.multilabel_cv(&features, &multi),
+        };
+        if let Some(s) = score {
+            // The score is a pure function of (labels, extractor, config), so
+            // its bits belong in the deterministic plane.
+            self.record(SessionEvent::EvaluationCompleted {
+                extractor,
+                score_bits: s.to_bits(),
+            });
         }
+        score
     }
 
     /// Simple 3-fold CV for multi-label tasks (no stratification; folds are

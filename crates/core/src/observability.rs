@@ -1,0 +1,235 @@
+//! The system's deterministic event plane (see `ve-obs` for the machinery
+//! and the two-plane contract).
+//!
+//! # What qualifies as an event
+//!
+//! Every [`SessionEvent`] is recorded at a point where its *content* is a
+//! pure function of the session's inputs, and where the *per-iteration
+//! multiset* of events is identical between the synchronous harness and the
+//! async engine at any `executor_workers × compute_threads`. Wall-clock
+//! facts (queue wait, run time, spill waits) are banned here; they live in
+//! the timing plane and join by span/iteration.
+//!
+//! # Iteration attribution
+//!
+//! The recorder carries the current iteration in an atomic set by
+//! `sample_segments` *after* it increments the session counter. The
+//! synchronous path runs its deferred training/evaluation at the start of
+//! `explore(N+1)` — before the counter moves to `N+1` — which is exactly the
+//! work the async engine runs inside window `N`; both therefore attribute it
+//! to iteration `N`, and the canonicalized ledgers line up bucket for
+//! bucket. (The async engine's final window trains once more than a
+//! synchronous session of the same length; equality assertions trim that
+//! boundary bucket, the same allowance `chaos_faults` makes.)
+//!
+//! # Ordering
+//!
+//! Recording order within an iteration is scheduling-dependent (a training
+//! task and an eager extraction may finish in either order), so equality is
+//! asserted on [`Obs::canonical_events`]: iteration-major, then the variant
+//! order below. The *raw* recording order is still exactly the legacy
+//! degradation-ledger order, which is why `VocalExplore::drain_degradations`
+//! can be a cursor view over this plane (see [`Obs::drain_degradations`]).
+
+use crate::degradation::Degradation;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use ve_features::ExtractorId;
+use ve_obs::{EventLedger, MetricsRegistry};
+use ve_vidsim::VideoId;
+
+/// One deterministic event. Variant order defines the canonical
+/// intra-iteration rank (roughly the phase order of an iteration); all
+/// payloads are integers or `Ord` ids — floats are stored as IEEE bits,
+/// which order correctly for the non-negative values recorded here.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SessionEvent {
+    /// The acquisition index absorbed newly covered rows during selection.
+    IndexIngest { rows_added: u64, epoch: u64 },
+    /// Probability-cache traffic of one selection call (deltas of
+    /// `ProbCacheStats` across the call; the cache is only consulted on the
+    /// session thread, so the deltas are deterministic).
+    CacheProbe {
+        hit_rows: u64,
+        miss_rows: u64,
+        invalidations: u64,
+    },
+    /// One `sample_segments` call completed.
+    SelectionCompleted {
+        batch: u32,
+        videos_extracted_for_call: u32,
+        candidates_lost: u32,
+        coverage_fallback: bool,
+    },
+    /// User-facing predictions for the iteration's batch were attached.
+    PredictionsServed { segments: u32, predicted: u32 },
+    /// The user labeled a segment.
+    LabelAdded { vid: VideoId },
+    /// A feature clip was computed and published to the cache (recorded by
+    /// the unique publish winner, so exactly once per clip per extractor).
+    Extracted {
+        extractor: ExtractorId,
+        vid: VideoId,
+    },
+    /// A cross-validated feature-quality evaluation produced a score.
+    EvaluationCompleted {
+        extractor: ExtractorId,
+        /// `f64::to_bits` of the CV score (non-negative, so bit order ==
+        /// numeric order).
+        score_bits: u64,
+    },
+    /// One training attempt ran (both the synchronous in-place retry loop
+    /// and the executor's retryable task record these, one per attempt).
+    TrainAttempt {
+        extractor: ExtractorId,
+        /// The training request's own iteration argument.
+        iteration: u32,
+        attempt: u32,
+        ok: bool,
+    },
+    /// Training published a new model version.
+    TrainCompleted {
+        extractor: ExtractorId,
+        iteration: u32,
+        version: u64,
+    },
+    /// An absorbed fault (the degradation ledger is a view over these).
+    Degraded(Degradation),
+}
+
+/// The observability recorder: deterministic event ledger + metrics
+/// registry + the current-iteration tag. One per [`crate::VocalExplore`],
+/// shared with the feature/model/AL managers via `Arc`.
+pub struct Obs {
+    current_iteration: AtomicU32,
+    ledger: EventLedger<SessionEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// Shared handle to the recorder.
+pub type ObsHandle = Arc<Obs>;
+
+impl Obs {
+    /// A recorder with event/metrics sinks enabled (`enabled = false` keeps
+    /// only the events that double as program state — degradations).
+    pub fn new(enabled: bool) -> ObsHandle {
+        let obs = Obs {
+            current_iteration: AtomicU32::new(0),
+            ledger: EventLedger::new(),
+            metrics: MetricsRegistry::new(),
+        };
+        obs.ledger.set_enabled(enabled);
+        Arc::new(obs)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.ledger.is_enabled()
+    }
+
+    /// Sets the iteration tag subsequent events attribute to.
+    pub fn set_iteration(&self, iteration: u32) {
+        self.current_iteration.store(iteration, Ordering::Relaxed);
+    }
+
+    pub fn iteration(&self) -> u32 {
+        self.current_iteration.load(Ordering::Relaxed)
+    }
+
+    /// Records an event under the current iteration tag.
+    pub fn record(&self, event: SessionEvent) {
+        self.ledger.record(self.iteration(), event);
+    }
+
+    /// Records a degradation. Always recorded — the degradation ledger is
+    /// program state, not optional telemetry — and counted in the metrics
+    /// registry when sinks are on.
+    pub fn record_degradation(&self, degradation: Degradation) {
+        if self.is_enabled() {
+            self.metrics.inc("degradations", 1);
+        }
+        self.ledger
+            .record_always(self.iteration(), SessionEvent::Degraded(degradation));
+    }
+
+    /// Bumps a metrics counter (no-op when sinks are disabled).
+    pub fn inc(&self, name: &str, by: u64) {
+        if self.is_enabled() {
+            self.metrics.inc(name, by);
+        }
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The ledger in raw recording order.
+    pub fn events(&self) -> Vec<(u32, SessionEvent)> {
+        self.ledger.snapshot()
+    }
+
+    /// The ledger in canonical (iteration-major, event-`Ord`) order — the
+    /// form sync/async and cross-parallelism equality is asserted on.
+    pub fn canonical_events(&self) -> Vec<(u32, SessionEvent)> {
+        self.ledger.canonical()
+    }
+
+    /// Degradations recorded since the last drain, in recording order —
+    /// the legacy `Vec<Degradation>` ledger as a view over the event plane.
+    pub fn drain_degradations(&self) -> Vec<Degradation> {
+        self.ledger.drain_filter_map(|e| match e {
+            SessionEvent::Degraded(d) => Some(d.clone()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_groups_by_iteration_then_variant() {
+        let obs = Obs::new(true);
+        obs.set_iteration(2);
+        obs.record(SessionEvent::TrainAttempt {
+            extractor: ExtractorId::R3d,
+            iteration: 2,
+            attempt: 0,
+            ok: true,
+        });
+        obs.set_iteration(1);
+        obs.record(SessionEvent::LabelAdded { vid: VideoId(4) });
+        obs.record(SessionEvent::CacheProbe {
+            hit_rows: 1,
+            miss_rows: 0,
+            invalidations: 0,
+        });
+        let canon = obs.canonical_events();
+        assert_eq!(canon.len(), 3);
+        assert_eq!(canon[0].0, 1);
+        assert!(matches!(canon[0].1, SessionEvent::CacheProbe { .. }));
+        assert!(matches!(canon[1].1, SessionEvent::LabelAdded { .. }));
+        assert_eq!(canon[2].0, 2);
+    }
+
+    #[test]
+    fn degradations_survive_disabled_sinks_and_drain_in_order() {
+        let obs = Obs::new(false);
+        obs.record(SessionEvent::LabelAdded { vid: VideoId(1) }); // dropped
+        obs.record_degradation(Degradation::CandidatesLost {
+            iteration: 1,
+            videos: 2,
+        });
+        obs.record_degradation(Degradation::TrainingFailed {
+            iteration: 1,
+            extractor: ExtractorId::R3d,
+        });
+        assert_eq!(obs.events().len(), 2);
+        let drained = obs.drain_degradations();
+        assert!(matches!(drained[0], Degradation::CandidatesLost { .. }));
+        assert!(matches!(drained[1], Degradation::TrainingFailed { .. }));
+        assert!(obs.drain_degradations().is_empty());
+        // Metrics counter untouched while disabled.
+        assert_eq!(obs.metrics().counter("degradations"), 0);
+    }
+}

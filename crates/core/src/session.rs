@@ -38,11 +38,13 @@ use crate::config::PreprocessPolicy;
 use crate::degradation::Degradation;
 use crate::harness::{eager_video_budget, iteration_costs_for_call, SessionConfig};
 use crate::model_manager::InferenceError;
+use crate::observability::SessionEvent;
 use crate::system::VocalExplore;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ve_al::AcquisitionKind;
 use ve_features::ExtractorId;
+use ve_obs::{PhaseTiming, TaskLabel, TaskTiming};
 use ve_sched::{
     iteration_latency, Executor, ExecutorStats, Priority, RetryPolicy, SchedulerStrategy,
 };
@@ -100,6 +102,19 @@ pub struct AsyncSessionOutcome {
     /// deterministic per-iteration order (system-ledger events first, then
     /// the engine's own task-level events).
     pub degradations: Vec<Degradation>,
+    /// The deterministic event ledger in canonical order — byte-for-byte
+    /// equal to the synchronous path's (and to any other worker/thread
+    /// configuration's) for the same inputs, up to the async engine's extra
+    /// final-window training (see `crate::observability` module docs).
+    pub events: Vec<(u32, SessionEvent)>,
+    /// Timing plane: one span per executor task (queue wait, run time,
+    /// worker), joined to the event plane by label/iteration. Wall-clock
+    /// facts only — never part of determinism assertions. Empty when
+    /// `VocalExploreConfig::observability` is off.
+    pub timings: Vec<TaskTiming>,
+    /// Timing plane: per-iteration session-thread phases (`select`,
+    /// `visible`, `think`, `spill`).
+    pub phases: Vec<PhaseTiming>,
 }
 
 fn median(mut values: Vec<f64>) -> f64 {
@@ -215,6 +230,7 @@ impl AsyncSessionRunner {
         let mm = system.model_manager_arc();
         fm.set_latency_scale(Some(scale));
         let executor = Executor::new(cfg.system.executor_workers.max(1));
+        executor.set_timing_enabled(cfg.system.observability);
 
         let oracle: Box<dyn Oracle> = if cfg.label_noise > 0.0 {
             Box::new(NoisyOracle::new(
@@ -263,6 +279,11 @@ impl AsyncSessionRunner {
             sleep_scaled(cfg.batch_size as f64 * cfg.system.costs.select_secs, scale);
             let (picks, stats) =
                 system.sample_segments(cfg.batch_size, cfg.clip_len, cfg.target_label);
+            executor.timing().record_phase(
+                "select",
+                iteration as u32,
+                (visible_timer.elapsed().as_secs_f64() * 1e6) as u64,
+            );
             // Model inference fans out as critical tasks — the one task class
             // the API response genuinely blocks on.
             let infer_secs = cfg.system.costs.infer_secs;
@@ -273,10 +294,14 @@ impl AsyncSessionRunner {
                     .map(|&(vid, range)| {
                         let (mm, fm, corpus) =
                             (Arc::clone(&mm), Arc::clone(&fm), Arc::clone(&corpus));
-                        executor.submit_with_handle(Priority::Critical, move || {
-                            sleep_scaled(infer_secs, scale);
-                            mm.predict(extractor, &corpus, &fm, vid, &range)
-                        })
+                        executor.submit_with_handle_labeled(
+                            Priority::Critical,
+                            TaskLabel::new("infer", iteration as u32),
+                            move || {
+                                sleep_scaled(infer_secs, scale);
+                                mm.predict(extractor, &corpus, &fm, vid, &range)
+                            },
+                        )
                     })
                     .collect();
                 let joined: Vec<Result<Vec<crate::api::Prediction>, InferenceError>> = handles
@@ -300,8 +325,20 @@ impl AsyncSessionRunner {
             } else {
                 picks.iter().map(|_| Vec::new()).collect::<Vec<_>>()
             };
+            // Mirror of the synchronous facade's `attach_predictions` event:
+            // same model version (window barriers), same fault fates, so the
+            // served/predicted counts match bit for bit.
+            system.obs().record(SessionEvent::PredictionsServed {
+                segments: picks.len() as u32,
+                predicted: predictions.iter().filter(|p| !p.is_empty()).count() as u32,
+            });
             drop(predictions); // delivered to the (simulated) user
             let measured_visible_wall = visible_timer.elapsed().as_secs_f64();
+            executor.timing().record_phase(
+                "visible",
+                iteration as u32,
+                (measured_visible_wall * 1e6) as u64,
+            );
 
             // ---- The user labels the batch (oracle). ----
             for &(vid, range) in &picks {
@@ -348,20 +385,24 @@ impl AsyncSessionRunner {
                 .map(|vid| {
                     let extractors = active.clone();
                     let (fm, corpus) = (Arc::clone(&fm), Arc::clone(&corpus));
-                    executor.submit_with_handle(Priority::Background, move || {
-                        // Per-video give-up list: a permanently failed
-                        // extraction leaves the video pending, the rest of
-                        // the round proceeds.
-                        let mut gave_up: Vec<ExtractorId> = Vec::new();
-                        if let Some(clip) = corpus.get(vid) {
-                            for &e in &extractors {
-                                if fm.ensure_clip(e, clip).is_err() {
-                                    gave_up.push(e);
+                    executor.submit_with_handle_labeled(
+                        Priority::Background,
+                        TaskLabel::new("eager", iteration as u32),
+                        move || {
+                            // Per-video give-up list: a permanently failed
+                            // extraction leaves the video pending, the rest of
+                            // the round proceeds.
+                            let mut gave_up: Vec<ExtractorId> = Vec::new();
+                            if let Some(clip) = corpus.get(vid) {
+                                for &e in &extractors {
+                                    if fm.ensure_clip(e, clip).is_err() {
+                                        gave_up.push(e);
+                                    }
                                 }
                             }
-                        }
-                        (vid, gave_up)
-                    })
+                            (vid, gave_up)
+                        },
+                    )
                 })
                 .collect();
 
@@ -394,6 +435,9 @@ impl AsyncSessionRunner {
             let barrier_timer = Instant::now();
             executor.wait_idle();
             let spill_wall = barrier_timer.elapsed().as_secs_f64();
+            let timing = executor.timing();
+            timing.record_phase("think", iteration as u32, (think_wall * 1e6) as u64);
+            timing.record_phase("spill", iteration as u32, (spill_wall * 1e6) as u64);
 
             // Drain give-ups in submission order (deterministic regardless of
             // which worker ran which task), then merge: system-ledger events
@@ -408,8 +452,14 @@ impl AsyncSessionRunner {
                     });
                 }
             }
+            // The engine's task-level events are recorded into the system's
+            // event plane at the merge point, preserving the legacy combined
+            // order (window's system events first, then the engine's own);
+            // the drained view then covers both.
+            for d in local_degradations.drain(..) {
+                system.record_degradation(d);
+            }
             degradations.extend(system.drain_degradations());
-            degradations.append(&mut local_degradations);
 
             iterations.push(MeasuredIteration {
                 iteration,
@@ -434,6 +484,9 @@ impl AsyncSessionRunner {
             prob_cache: system.alm().prob_cache_stats(),
             time_scale: scale,
             degradations,
+            events: system.obs().canonical_events(),
+            timings: executor.timing().tasks(),
+            phases: executor.timing().phases(),
         }
     }
 
@@ -502,11 +555,15 @@ impl AsyncSessionRunner {
                     Arc::clone(corpus),
                     Arc::clone(&labels),
                 );
-                executor.submit_with_handle(Priority::Normal, move || {
-                    sleep_scaled(eval_secs, scale);
-                    mm.evaluate_cv(extractor, &corpus, &fm, &labels)
-                        .map(|score| (extractor, score))
-                })
+                executor.submit_with_handle_labeled(
+                    Priority::Normal,
+                    TaskLabel::new("eval", iteration as u32),
+                    move || {
+                        sleep_scaled(eval_secs, scale);
+                        mm.evaluate_cv(extractor, &corpus, &fm, &labels)
+                            .map(|score| (extractor, score))
+                    },
+                )
             })
             .collect();
         let scores: Vec<(ExtractorId, f64)> = score_handles
@@ -534,18 +591,23 @@ impl AsyncSessionRunner {
                 time_scale: scale,
                 ..self.config.system.retry
             };
-            let handle = executor.submit_retryable(Priority::Normal, policy, move |attempt| {
-                sleep_scaled(train_secs, scale);
-                mm.train_attempt(
-                    extractor,
-                    &corpus,
-                    &fm,
-                    &labels_arc,
-                    iteration as u32,
-                    cv,
-                    attempt,
-                )
-            });
+            let handle = executor.submit_retryable_labeled(
+                Priority::Normal,
+                TaskLabel::new("train", iteration as u32),
+                policy,
+                move |attempt| {
+                    sleep_scaled(train_secs, scale);
+                    mm.train_attempt(
+                        extractor,
+                        &corpus,
+                        &fm,
+                        &labels_arc,
+                        iteration as u32,
+                        cv,
+                        attempt,
+                    )
+                },
+            );
             // The join blocks the session thread, but all of this happens
             // inside the labeling window — the executor trains while the
             // simulated user labels, and any excess is absorbed by the

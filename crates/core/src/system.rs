@@ -13,6 +13,7 @@ use crate::config::VocalExploreConfig;
 use crate::degradation::Degradation;
 use crate::feature_manager::FeatureManager;
 use crate::model_manager::{InferenceError, ModelManager};
+use crate::observability::{Obs, ObsHandle, SessionEvent};
 use std::sync::Arc;
 use ve_al::AcquisitionKind;
 use ve_features::{ExtractorId, FeatureSimulator};
@@ -39,9 +40,10 @@ pub struct VocalExplore {
     /// Shared deterministic fault injector (built from
     /// [`VocalExploreConfig::fault_plan`]); `None` in production runs.
     fault: Option<Arc<FaultInjector>>,
-    /// Append-only ledger of absorbed faults, drained by
-    /// [`VocalExplore::drain_degradations`].
-    degradations: Vec<Degradation>,
+    /// Observability recorder: the deterministic event plane plus the
+    /// metrics registry, shared with the feature/model/AL managers. The
+    /// degradation ledger is a drain view over this plane.
+    obs: ObsHandle,
 }
 
 impl VocalExplore {
@@ -59,13 +61,17 @@ impl VocalExplore {
             .fault_plan
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let obs = Obs::new(config.observability);
         let mut fm = FeatureManager::new(simulator, storage.clone());
         fm.set_fault_injector(fault.clone(), config.retry);
+        fm.set_obs(Arc::clone(&obs));
         let fm = Arc::new(fm);
         let mut mm = ModelManager::new(config.clone());
         mm.set_fault_injector(fault.clone());
+        mm.set_obs(Arc::clone(&obs));
         let mm = Arc::new(mm);
-        let alm = ActiveLearningManager::new(config.clone());
+        let mut alm = ActiveLearningManager::new(config.clone());
+        alm.set_obs(Arc::clone(&obs));
         Self {
             config,
             corpus: VideoCorpus::new(),
@@ -76,7 +82,7 @@ impl VocalExplore {
             iteration: 0,
             labels_at_last_training: 0,
             fault,
-            degradations: Vec::new(),
+            obs,
         }
     }
 
@@ -87,9 +93,24 @@ impl VocalExplore {
     }
 
     /// Drains the absorbed-fault ledger accumulated since the last drain, in
-    /// deterministic recording order.
+    /// deterministic recording order. This is a cursor view over the
+    /// observability event plane: degradations are recorded there (always,
+    /// even with sinks disabled) and materialized into the legacy
+    /// `Vec<Degradation>` shape here.
     pub fn drain_degradations(&mut self) -> Vec<Degradation> {
-        std::mem::take(&mut self.degradations)
+        self.obs.drain_degradations()
+    }
+
+    /// The observability recorder (event ledger + metrics registry).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Records a degradation the caller absorbed on the system's behalf
+    /// (the async session engine routes its task-level losses through here
+    /// so the ledger view stays complete and ordered).
+    pub fn record_degradation(&mut self, degradation: Degradation) {
+        self.obs.record_degradation(degradation);
     }
 
     /// The system configuration.
@@ -222,6 +243,12 @@ impl VocalExplore {
     ) -> (Vec<(VideoId, TimeRange)>, SelectionStats) {
         assert!(clip_len > 0.0, "clip length must be positive");
         self.iteration += 1;
+        // Events recorded from here (including by executor tasks of the
+        // async engine's current window) attribute to the new iteration; the
+        // synchronous path's deferred work runs *before* this bump, which is
+        // how both paths tag the equivalent work identically (see the
+        // `observability` module docs).
+        self.obs.set_iteration(self.iteration);
         // The ALM's persistent acquisition index tracks the feature-bearing
         // pool by itself (via the feature store's change log), so no
         // per-call pool snapshot is assembled here anymore.
@@ -234,14 +261,20 @@ impl VocalExplore {
             clip_len,
             target_label,
         );
+        self.obs.record(SessionEvent::SelectionCompleted {
+            batch: picks.len() as u32,
+            videos_extracted_for_call: stats.videos_extracted_for_call as u32,
+            candidates_lost: stats.candidates_lost as u32,
+            coverage_fallback: stats.coverage_fallback,
+        });
         if stats.candidates_lost > 0 {
-            self.degradations.push(Degradation::CandidatesLost {
+            self.obs.record_degradation(Degradation::CandidatesLost {
                 iteration: self.iteration,
                 videos: stats.candidates_lost,
             });
         }
         if stats.coverage_fallback {
-            self.degradations.push(Degradation::CoverageFallback {
+            self.obs.record_degradation(Degradation::CoverageFallback {
                 iteration: self.iteration,
                 extractor: self.alm.current_extractor(),
             });
@@ -261,6 +294,7 @@ impl VocalExplore {
                 iteration,
             })
         });
+        self.obs.record(SessionEvent::LabelAdded { vid });
         let counts = self.class_counts();
         self.alm.observe_labels(&counts);
     }
@@ -297,7 +331,7 @@ impl VocalExplore {
                 Ok(false) => {}
                 // A failed train keeps serving the previously published
                 // model version (if any) — record the loss and move on.
-                Err(err) => self.degradations.push(Degradation::TrainingFailed {
+                Err(err) => self.obs.record_degradation(Degradation::TrainingFailed {
                     iteration: err.iteration,
                     extractor: err.extractor,
                 }),
@@ -345,7 +379,7 @@ impl VocalExplore {
                 // its own fault schedule.
                 match self.fm.ensure_clip(e, clip) {
                     Ok(cost) => spent += cost,
-                    Err(err) => self.degradations.push(Degradation::ExtractionGaveUp {
+                    Err(err) => self.obs.record_degradation(Degradation::ExtractionGaveUp {
                         iteration: self.iteration,
                         extractor: err.extractor,
                         vid: err.vid,
@@ -386,7 +420,7 @@ impl VocalExplore {
                 // predictions rather than failing the Explore/Watch call.
                 Err(err) => {
                     if let InferenceError::Row { vid, .. } = err {
-                        self.degradations.push(Degradation::PredictionDropped {
+                        self.obs.record_degradation(Degradation::PredictionDropped {
                             iteration: self.iteration,
                             vid,
                         });
@@ -397,6 +431,11 @@ impl VocalExplore {
         } else {
             segments.iter().map(|_| Vec::new()).collect()
         };
+        let predicted = predictions.iter().filter(|p| !p.is_empty()).count() as u32;
+        self.obs.record(SessionEvent::PredictionsServed {
+            segments: segments.len() as u32,
+            predicted,
+        });
         segments
             .into_iter()
             .zip(predictions)

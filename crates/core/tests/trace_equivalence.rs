@@ -1,0 +1,170 @@
+//! Trace equivalence: the deterministic event plane (`ve-obs`) is a pure
+//! function of the session's inputs.
+//!
+//! Three contracts:
+//!
+//! 1. **Sync/async equivalence** — a synchronous `SessionRunner` session and
+//!    an `AsyncSessionRunner` session with the same config produce identical
+//!    canonical event ledgers, for every scheduling strategy and at every
+//!    tested `executor_workers × compute_threads`, modulo the async engine's
+//!    final-window training (the same boundary allowance `chaos_faults`
+//!    makes for the degradation ledger).
+//! 2. **Parallelism invariance** — the async ledger is bit-identical across
+//!    worker/thread counts, with no trimming at all.
+//! 3. **Chaos reconciliation** — under injected training faults, the event
+//!    plane and the scheduler's counters tell the same story: re-run
+//!    `TrainAttempt`s equal `ExecutorStats::retried`, `TrainingFailed`
+//!    degradation events equal `gave_up`, and the `Degraded` events are
+//!    exactly the outcome's degradation ledger.
+
+use vocalexplore::prelude::*;
+use vocalexplore::Degradation;
+
+use ve_sched::fault::{FaultPlan, FaultRule, FaultSite};
+
+fn base_config(seed: u64, iterations: usize) -> SessionConfig {
+    let mut cfg = SessionConfig::new(DatasetName::Deer, 0.08, seed)
+        .with_iterations(iterations)
+        .with_eval_every(1000);
+    cfg.system = cfg
+        .system
+        .with_feature_selection(FeatureSelectionPolicy::Fixed(ExtractorId::R3d))
+        .with_extra_candidates(5)
+        .with_compute_threads(1)
+        .with_time_scale(1e-4);
+    cfg.system.train.epochs = 40;
+    cfg
+}
+
+/// Drops the async engine's final-window training events: its window-N
+/// training corresponds to the synchronous path's explore-(N+1) deferred
+/// work, which a session of N iterations never issues.
+fn trim_final_window(events: &[(u32, SessionEvent)], last: u32) -> Vec<(u32, SessionEvent)> {
+    events
+        .iter()
+        .filter(|(bucket, event)| {
+            *bucket != last
+                || !matches!(
+                    event,
+                    SessionEvent::TrainAttempt { .. }
+                        | SessionEvent::TrainCompleted { .. }
+                        | SessionEvent::EvaluationCompleted { .. }
+                        | SessionEvent::Degraded(Degradation::TrainingFailed { .. })
+                )
+        })
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn sync_and_async_ledgers_are_identical_for_every_strategy() {
+    for strategy in SchedulerStrategy::all() {
+        let mut cfg = base_config(29, 6);
+        cfg.system = cfg.system.with_strategy(strategy);
+        let sync = SessionRunner::new(cfg.clone()).run();
+        assert!(
+            !sync.events.is_empty(),
+            "instrumentation must actually record events under {strategy}"
+        );
+        let last = cfg.iterations as u32;
+        for (workers, threads) in [(1, 1), (1, 4), (4, 1), (4, 4)] {
+            let mut async_cfg = cfg.clone();
+            async_cfg.system = async_cfg
+                .system
+                .with_executor_workers(workers)
+                .with_compute_threads(threads);
+            let measured = AsyncSessionRunner::new(async_cfg).run();
+            assert_eq!(
+                trim_final_window(&measured.events, last),
+                sync.events,
+                "event ledgers diverged under {strategy} at workers={workers} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn async_ledger_is_invariant_across_parallelism() {
+    // Async vs async needs no boundary trim: every run issues the same
+    // windows, so the ledgers must be bit-identical, faults included.
+    let plan = FaultPlan::new(7)
+        .with_rule(FaultSite::FeatureExtraction, FaultRule::permanent(0.2))
+        .with_rule(FaultSite::Training, FaultRule::permanent(0.3))
+        .with_rule(FaultSite::BatchInference, FaultRule::permanent(0.3))
+        .with_rule(FaultSite::RowInference, FaultRule::permanent(0.1));
+    let run = |workers: usize, threads: usize| {
+        let mut cfg = base_config(17, 6);
+        cfg.system = cfg
+            .system
+            .with_strategy(SchedulerStrategy::VeFull)
+            .with_fault_plan(plan.clone())
+            .with_executor_workers(workers)
+            .with_compute_threads(threads);
+        AsyncSessionRunner::new(cfg).run()
+    };
+    let reference = run(1, 1);
+    assert!(!reference.events.is_empty());
+    for (workers, threads) in [(1, 4), (4, 1), (4, 4)] {
+        let other = run(workers, threads);
+        assert_eq!(
+            other.events, reference.events,
+            "canonical ledger diverged at workers={workers} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn chaos_fault_events_reconcile_with_executor_counters() {
+    // Training always fails: every retryable training task burns its full
+    // attempt budget and gives up. The event plane must agree with the
+    // executor's counters exactly.
+    let plan = FaultPlan::new(3).with_rule(FaultSite::Training, FaultRule::permanent(1.0));
+    let mut cfg = base_config(11, 6);
+    cfg.system = cfg
+        .system
+        .with_strategy(SchedulerStrategy::VePartial)
+        .with_fault_plan(plan);
+    let out = AsyncSessionRunner::new(cfg).run();
+
+    let reruns = out
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, SessionEvent::TrainAttempt { attempt, .. } if *attempt >= 1))
+        .count() as u64;
+    assert!(reruns > 0, "the storm must force retries");
+    assert_eq!(
+        reruns, out.executor.retried,
+        "re-run TrainAttempt events must equal the executor's retried counter"
+    );
+
+    let gave_up_events = out
+        .events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                SessionEvent::Degraded(Degradation::TrainingFailed { .. })
+            )
+        })
+        .count() as u64;
+    assert_eq!(
+        gave_up_events, out.executor.gave_up,
+        "TrainingFailed events must equal the executor's gave_up counter"
+    );
+
+    // The legacy degradation ledger is a view over the event plane: the
+    // Degraded events are exactly the outcome's degradations (as multisets;
+    // the canonical ledger reorders within an iteration).
+    let mut from_events: Vec<String> = out
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            SessionEvent::Degraded(d) => Some(format!("{d:?}")),
+            _ => None,
+        })
+        .collect();
+    from_events.sort();
+    let mut from_ledger: Vec<String> = out.degradations.iter().map(|d| format!("{d:?}")).collect();
+    from_ledger.sort();
+    assert_eq!(from_events, from_ledger);
+}

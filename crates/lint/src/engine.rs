@@ -49,11 +49,19 @@ pub const ALL_RULES: &[&str] = &[
 /// Crates whose selection/storage state must be a pure function of inputs
 /// (ROADMAP "bit-identical at any worker/thread count"). Rules
 /// `nondeterministic-iteration` and `float-reduction-order` apply here.
-pub const DETERMINISM_CRITICAL_CRATES: &[&str] = &["ve-al", "ve-ml", "ve-storage", "vocalexplore"];
+pub const DETERMINISM_CRITICAL_CRATES: &[&str] =
+    &["ve-al", "ve-ml", "ve-obs", "ve-storage", "vocalexplore"];
 
 /// Crates allowed to read wall-clock time: the scheduler measures latency,
 /// the bench crate measures everything.
 pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["ve-sched", "ve-bench"];
+
+/// Individual files allowed to read wall-clock time inside otherwise
+/// determinism-critical crates. `ve-obs` is two-plane by contract: its
+/// timing plane (`timing.rs`) *is* wall-clock measurement, while its event
+/// plane must stay a pure function of inputs — so the exemption is scoped to
+/// the one file rather than the crate.
+pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &["crates/obs/src/timing.rs"];
 
 /// Crates allowed to create threads: `ve-sched` owns the executor and the
 /// data-parallel pool; everything else must submit work to them.

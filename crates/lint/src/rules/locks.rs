@@ -39,6 +39,9 @@ const LOCK_CLASSES: &[(&str, &str, &str)] = &[
     ("vocalexplore", "stats", "mm.stats"),
     ("vocalexplore", "gpu_seconds", "fm.gpu_seconds"),
     ("ve-vidsim", "rng", "oracle.rng"),
+    ("ve-obs", "ledger", "obs.ledger"),
+    ("ve-obs", "timings", "obs.timings"),
+    ("ve-obs", "series", "obs.metrics"),
 ];
 
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];

@@ -10,7 +10,7 @@
 //! saying so, which keeps every wall-clock read in the repo explicitly
 //! accounted for.
 
-use crate::engine::{Finding, RULE_WALL_CLOCK, WALL_CLOCK_EXEMPT_CRATES};
+use crate::engine::{Finding, RULE_WALL_CLOCK, WALL_CLOCK_EXEMPT_CRATES, WALL_CLOCK_EXEMPT_FILES};
 use crate::rules::is_path_pair;
 use crate::workspace::WorkspaceModel;
 
@@ -18,6 +18,12 @@ pub fn check(ws: &WorkspaceModel) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in &ws.files {
         if WALL_CLOCK_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        // File-scoped exemption: `ve-obs`'s timing plane is sanctioned
+        // measurement, but its event plane (every other file of the crate)
+        // must stay wall-clock-free.
+        if WALL_CLOCK_EXEMPT_FILES.contains(&file.rel_path.as_str()) {
             continue;
         }
         for ci in 0..file.code.len() {

@@ -255,6 +255,29 @@ fn wall_clock_silent_in_sched_and_bench() {
 }
 
 #[test]
+fn wall_clock_fires_in_obs_event_plane_files() {
+    // The ve-obs event plane must stay wall-clock-free: event content and
+    // order are part of the determinism contract. Only the timing plane
+    // (timing.rs) may read the clock.
+    let src = "pub fn record_stamp() -> u64 {\n\
+                   std::time::Instant::now().elapsed().as_micros() as u64\n\
+               }\n";
+    let report = run(&[("ve-obs", "crates/obs/src/event.rs", src)]);
+    assert_eq!(active_rules(&report), ["wall-clock-in-logic"]);
+    assert!(report.active[0].message.contains("Instant::now"));
+}
+
+#[test]
+fn wall_clock_silent_in_obs_timing_plane_file() {
+    // Identical source, but in the sanctioned timing-plane file.
+    let src = "pub fn record_stamp() -> u64 {\n\
+                   std::time::Instant::now().elapsed().as_micros() as u64\n\
+               }\n";
+    let report = run(&[("ve-obs", "crates/obs/src/timing.rs", src)]);
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
 fn wall_clock_suppressible_with_reason() {
     let src = "fn timer() -> std::time::Instant {\n\
                    // ve-lint: allow(wall-clock-in-logic) -- measurement is the product here\n\

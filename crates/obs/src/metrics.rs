@@ -1,0 +1,289 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms with
+//! deterministic bucket math.
+//!
+//! All values are integers (counts, or durations in microseconds) and every
+//! derived statistic — including the p50/p99 summaries — is computed with
+//! integer arithmetic over fixed bucket bounds, so a snapshot is a pure
+//! function of the observation multiset: no float accumulation order, no
+//! environment-dependent rounding.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Fixed-bucket histogram over `u64` values. Bucket `i` counts observations
+/// `v <= bounds[i]` (the first bucket they fit); values above the last bound
+/// land in an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Default latency bounds: powers of two from 1 µs to ~17 s. Fixed at
+/// compile time so every histogram in the repo buckets identically.
+pub fn default_latency_bounds() -> Vec<u64> {
+    (0..25).map(|i| 1u64 << i).collect()
+}
+
+impl Histogram {
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn with_default_bounds() -> Self {
+        Self::new(default_latency_bounds())
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Quantile estimate as the upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q_num/q_den * total)`. Integer math
+    /// only; `quantile(1, 2)` is the p50 estimate, `quantile(99, 100)` p99.
+    /// Observations past the last bound report the true maximum.
+    pub fn quantile(&self, q_num: u64, q_den: u64) -> u64 {
+        assert!(q_den > 0 && q_num <= q_den);
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = self.total.saturating_mul(q_num).div_ceil(q_den).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds[i];
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(1, 2)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// An immutable copy of the registry, for export and assertions.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Hand-rolled JSON rendering (no serde in this environment). Keys come
+    /// out in `BTreeMap` order, so the document is deterministic.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p99\": {}}}",
+                esc(k),
+                h.total(),
+                h.sum(), // ve-lint: allow(float-reduction-order) -- Histogram::sum is a u64 accessor, not an iterator reduction
+                h.min(),
+                h.max(),
+                h.p50(),
+                h.p99()
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Thread-safe registry. Disabled sinks cost one relaxed atomic load per
+/// call site via the owner's gating; the registry itself is always live.
+pub struct MetricsRegistry {
+    series: Mutex<RegistryState>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self {
+            series: Mutex::new(RegistryState::default()),
+        }
+    }
+
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut state = self.series.lock().expect("obs.metrics poisoned");
+        *state.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        let mut state = self.series.lock().expect("obs.metrics poisoned");
+        state.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises a gauge to `value` if it is below it (high-water semantics).
+    pub fn raise_gauge(&self, name: &str, value: i64) {
+        let mut state = self.series.lock().expect("obs.metrics poisoned");
+        let g = state.gauges.entry(name.to_string()).or_insert(i64::MIN);
+        if *g < value {
+            *g = value;
+        }
+    }
+
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut state = self.series.lock().expect("obs.metrics poisoned");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::with_default_bounds)
+            .observe(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        let state = self.series.lock().expect("obs.metrics poisoned");
+        state.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let state = self.series.lock().expect("obs.metrics poisoned");
+        MetricsSnapshot {
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            histograms: state.histograms.clone(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_use_integer_bucket_math() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for _ in 0..50 {
+            h.observe(5);
+        }
+        for _ in 0..49 {
+            h.observe(50);
+        }
+        h.observe(5000); // overflow
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.p50(), 10); // rank 50 lands in the first bucket
+        assert_eq!(h.quantile(99, 100), 100); // rank 99 in the second
+        assert_eq!(h.quantile(1, 1), 5000); // overflow reports the true max
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn histogram_is_a_pure_function_of_the_observation_multiset() {
+        let mut a = Histogram::with_default_bounds();
+        let mut b = Histogram::with_default_bounds();
+        for v in [3u64, 900, 17, 17, 250_000] {
+            a.observe(v);
+        }
+        for v in [250_000u64, 17, 3, 900, 17] {
+            b.observe(v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_and_renders() {
+        let reg = MetricsRegistry::new();
+        reg.inc("fm.cache_hits", 3);
+        reg.inc("fm.cache_hits", 2);
+        reg.set_gauge("queue.depth_hwm.critical", 7);
+        reg.observe("train.run_us", 1234);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["fm.cache_hits"], 5);
+        assert_eq!(snap.gauges["queue.depth_hwm.critical"], 7);
+        assert_eq!(snap.histograms["train.run_us"].total(), 1);
+        let json = snap.render_json();
+        assert!(json.contains("\"fm.cache_hits\": 5"));
+        assert!(json.contains("\"p50\""));
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::with_default_bounds();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+    }
+}

@@ -32,14 +32,36 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use ve_obs::timing::{QueueClass, TaskLabel, TaskTiming, TimingPlane};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued closure plus the metadata the timing plane needs to attribute
+/// it: the deterministic span id (submission counter), the submitter's
+/// label, and when it entered the queue.
+struct QueuedJob {
+    job: Job,
+    span: u64,
+    label: TaskLabel,
+    class: QueueClass,
+    submit_us: u64,
+}
+
+/// The executor's `Priority` rendered into `ve-obs`'s scheduler-agnostic
+/// queue classes (`ve-obs` sits below `ve-sched` in the dependency graph).
+pub fn queue_class(priority: Priority) -> QueueClass {
+    match priority {
+        Priority::Critical => QueueClass::Critical,
+        Priority::Normal => QueueClass::Normal,
+        Priority::Background => QueueClass::Background,
+    }
+}
+
 #[derive(Default)]
 struct State {
-    critical: VecDeque<Job>,
-    normal: VecDeque<Job>,
-    background: VecDeque<Job>,
+    critical: VecDeque<QueuedJob>,
+    normal: VecDeque<QueuedJob>,
+    background: VecDeque<QueuedJob>,
     shutdown: bool,
     submitted: u64,
     completed: u64,
@@ -47,18 +69,36 @@ struct State {
     retried: u64,
     gave_up: u64,
     in_flight: usize,
+    /// Cumulative wall microseconds jobs spent queued before a worker picked
+    /// them up (timing plane; never consulted by logic).
+    queue_wait_us: u64,
+    /// Per-priority queue-depth high-water marks (critical/normal/background).
+    depth_hwm: [u64; 3],
 }
 
 impl State {
-    fn push(&mut self, priority: Priority, job: Job) {
-        match priority {
-            Priority::Critical => self.critical.push_back(job),
-            Priority::Normal => self.normal.push_back(job),
-            Priority::Background => self.background.push_back(job),
+    fn push(&mut self, priority: Priority, job: QueuedJob) {
+        let depth = match priority {
+            Priority::Critical => {
+                self.critical.push_back(job);
+                self.critical.len()
+            }
+            Priority::Normal => {
+                self.normal.push_back(job);
+                self.normal.len()
+            }
+            Priority::Background => {
+                self.background.push_back(job);
+                self.background.len()
+            }
+        } as u64;
+        let slot = &mut self.depth_hwm[queue_class(priority).index()];
+        if *slot < depth {
+            *slot = depth;
         }
     }
 
-    fn pop(&mut self) -> Option<Job> {
+    fn pop(&mut self) -> Option<QueuedJob> {
         self.critical
             .pop_front()
             .or_else(|| self.normal.pop_front())
@@ -82,6 +122,9 @@ struct Inner {
     /// `wait_idle`/`wait_for` callers wait here; notified whenever a worker
     /// finishes the last outstanding job.
     drained: Condvar,
+    /// Wall-clock timing plane: per-task submit/start/end records joined to
+    /// the deterministic event plane by span id.
+    plane: TimingPlane,
 }
 
 /// Counters describing executor activity.
@@ -98,6 +141,14 @@ pub struct ExecutorStats {
     pub retried: u64,
     /// Retryable jobs that exhausted their [`RetryPolicy`] budget.
     pub gave_up: u64,
+    /// Cumulative wall microseconds jobs spent queued before starting.
+    /// Timing-plane data: varies run to run and must never feed logic or
+    /// determinism assertions.
+    pub queue_wait_us: u64,
+    /// Queue-depth high-water marks per priority
+    /// (critical/normal/background). Deterministic only under a single
+    /// worker; treat as timing-plane data.
+    pub depth_hwm: [u64; 3],
 }
 
 impl ExecutorStats {
@@ -301,6 +352,7 @@ impl Executor {
             state: Mutex::new(State::default()),
             available: Condvar::new(),
             drained: Condvar::new(),
+            plane: TimingPlane::new(),
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -308,7 +360,7 @@ impl Executor {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ve-sched-worker-{i}"))
-                    .spawn(move || worker_loop(inner))
+                    .spawn(move || worker_loop(inner, i))
                     .expect("spawn worker"),
             );
         }
@@ -323,18 +375,52 @@ impl Executor {
         self.workers.len()
     }
 
+    /// The executor's wall-clock timing plane. Session runners drain task
+    /// timings from here and benchmarks join them to the event plane by
+    /// span id.
+    pub fn timing(&self) -> &TimingPlane {
+        &self.inner.plane
+    }
+
+    /// Enables or disables timing-plane capture (counters in
+    /// [`ExecutorStats`] are always maintained; they are a handful of adds
+    /// under a lock already held).
+    pub fn set_timing_enabled(&self, on: bool) {
+        self.inner.plane.set_enabled(on);
+    }
+
     /// Submits a closure at the given priority. Panics inside the job are
     /// caught by the worker and surfaced in [`ExecutorStats::failed`].
     pub fn submit<F>(&self, priority: Priority, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
+        self.submit_labeled(priority, TaskLabel::unlabeled(), job)
+    }
+
+    /// [`Executor::submit`] with a timing-plane label attributing the task
+    /// to a session phase and iteration.
+    pub fn submit_labeled<F>(&self, priority: Priority, label: TaskLabel, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let submit_us = self.inner.plane.now_us();
         {
             let mut state = self.inner.state.lock();
             // `submitted` is bumped before the push, inside the same critical
             // section — see the module docs on counter semantics.
             state.submitted += 1;
-            state.push(priority, Box::new(job));
+            let span = state.submitted;
+            state.push(
+                priority,
+                QueuedJob {
+                    job: Box::new(job),
+                    span,
+                    label,
+                    class: queue_class(priority),
+                    submit_us,
+                },
+            );
         }
         self.inner.available.notify_one();
     }
@@ -347,12 +433,26 @@ impl Executor {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.submit_with_handle_labeled(priority, TaskLabel::unlabeled(), job)
+    }
+
+    /// [`Executor::submit_with_handle`] with a timing-plane label.
+    pub fn submit_with_handle_labeled<T, F>(
+        &self,
+        priority: Priority,
+        label: TaskLabel,
+        job: F,
+    ) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let shared = Arc::new(HandleShared {
             result: Mutex::new(None),
             done: Condvar::new(),
         });
         let slot = Arc::clone(&shared);
-        self.submit(priority, move || {
+        self.submit_labeled(priority, label, move || {
             let outcome = catch_unwind(AssertUnwindSafe(job));
             let panicked = match &outcome {
                 Ok(_) => None,
@@ -391,6 +491,23 @@ impl Executor {
         &self,
         priority: Priority,
         policy: RetryPolicy,
+        job: F,
+    ) -> TaskHandle<Result<T, TaskFailure<E>>>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        F: FnMut(u32) -> Result<T, E> + Send + 'static,
+    {
+        self.submit_retryable_labeled(priority, TaskLabel::unlabeled(), policy, job)
+    }
+
+    /// [`Executor::submit_retryable`] with a timing-plane label; the whole
+    /// retry sequence is one span.
+    pub fn submit_retryable_labeled<T, E, F>(
+        &self,
+        priority: Priority,
+        label: TaskLabel,
+        policy: RetryPolicy,
         mut job: F,
     ) -> TaskHandle<Result<T, TaskFailure<E>>>
     where
@@ -404,7 +521,7 @@ impl Executor {
         });
         let slot = Arc::clone(&shared);
         let inner = Arc::clone(&self.inner);
-        self.submit(priority, move || {
+        self.submit_labeled(priority, label, move || {
             let max = policy.max_attempts.max(1);
             let mut attempt = 0u32;
             loop {
@@ -485,6 +602,8 @@ impl Executor {
             failed: state.failed,
             retried: state.retried,
             gave_up: state.gave_up,
+            queue_wait_us: state.queue_wait_us,
+            depth_hwm: state.depth_hwm,
         }
     }
 }
@@ -499,16 +618,16 @@ impl Drop for Executor {
     }
 }
 
-fn worker_loop(inner: Arc<Inner>) {
+fn worker_loop(inner: Arc<Inner>, worker: usize) {
     loop {
-        let job = {
+        let queued = {
             let mut state = inner.state.lock();
             loop {
-                if let Some(job) = state.pop() {
+                if let Some(queued) = state.pop() {
                     // Marked in-flight under the same lock as the pop, so
                     // `is_drained` can never miss a running job.
                     state.in_flight += 1;
-                    break Some(job);
+                    break Some(queued);
                 }
                 if state.shutdown {
                     break None;
@@ -516,17 +635,33 @@ fn worker_loop(inner: Arc<Inner>) {
                 inner.available.wait(&mut state);
             }
         };
-        let Some(job) = job else { return };
-        let outcome = catch_unwind(AssertUnwindSafe(job));
-        let mut state = inner.state.lock();
-        state.in_flight -= 1;
-        state.completed += 1;
-        if outcome.is_err() {
-            state.failed += 1;
+        let Some(queued) = queued else { return };
+        let start_us = inner.plane.now_us();
+        let outcome = catch_unwind(AssertUnwindSafe(queued.job));
+        let end_us = inner.plane.now_us();
+        {
+            let mut state = inner.state.lock();
+            state.in_flight -= 1;
+            state.completed += 1;
+            state.queue_wait_us += start_us.saturating_sub(queued.submit_us);
+            if outcome.is_err() {
+                state.failed += 1;
+            }
+            if state.is_drained() {
+                inner.drained.notify_all();
+            }
         }
-        if state.is_drained() {
-            inner.drained.notify_all();
-        }
+        // Recorded after the queue lock is released: the timing plane has
+        // its own lock and the two must never nest.
+        inner.plane.record_task(TaskTiming {
+            span: queued.span,
+            label: queued.label,
+            class: queued.class,
+            worker,
+            submit_us: queued.submit_us,
+            start_us,
+            end_us,
+        });
     }
 }
 
@@ -710,9 +845,81 @@ mod tests {
                 completed: 0,
                 failed: 0,
                 retried: 0,
-                gave_up: 0
+                gave_up: 0,
+                queue_wait_us: 0,
+                depth_hwm: [0, 0, 0],
             }
         );
+    }
+
+    #[test]
+    fn depth_high_water_marks_track_per_priority_queues() {
+        // Single worker blocked on a gate: everything queued after the gate
+        // job piles up and the high-water marks see the full depth.
+        let ex = Executor::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            ex.submit(Priority::Critical, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        for _ in 0..3 {
+            ex.submit(Priority::Normal, || {});
+        }
+        for _ in 0..2 {
+            ex.submit(Priority::Background, || {});
+        }
+        gate.store(true, Ordering::SeqCst);
+        ex.wait_idle();
+        let stats = ex.stats();
+        // The gate job may or may not have been popped before the others
+        // were pushed, so critical saw depth 0 or 1; the blocked queues saw
+        // their full depth.
+        assert!(stats.depth_hwm[0] <= 1);
+        assert_eq!(stats.depth_hwm[1], 3, "{:?}", stats.depth_hwm);
+        assert_eq!(stats.depth_hwm[2], 2, "{:?}", stats.depth_hwm);
+    }
+
+    #[test]
+    fn timing_plane_records_labeled_spans_with_queue_wait() {
+        let ex = Executor::new(2);
+        let h1 =
+            ex.submit_with_handle_labeled(Priority::Normal, TaskLabel::new("train", 3), || {
+                std::thread::sleep(std::time::Duration::from_millis(2))
+            });
+        let h2 =
+            ex.submit_with_handle_labeled(Priority::Critical, TaskLabel::new("infer", 3), || {});
+        h1.join().unwrap();
+        h2.join().unwrap();
+        ex.wait_idle();
+        let tasks = ex.timing().tasks();
+        assert_eq!(tasks.len(), 2);
+        let train = tasks.iter().find(|t| t.label.kind == "train").unwrap();
+        assert_eq!(train.label.iteration, 3);
+        assert_eq!(train.class, QueueClass::Normal);
+        assert!(train.end_us >= train.start_us + 1_000, "{train:?}");
+        assert!(train.start_us >= train.submit_us);
+        // Span ids are the submission counter: unique and deterministic.
+        let mut spans: Vec<u64> = tasks.iter().map(|t| t.span).collect();
+        spans.sort_unstable();
+        assert_eq!(spans, vec![1, 2]);
+        // Cumulative queue wait is the sum over recorded tasks.
+        let sum: u64 = tasks.iter().map(|t| t.queue_wait_us()).sum();
+        assert_eq!(ex.stats().queue_wait_us, sum);
+    }
+
+    #[test]
+    fn disabled_timing_plane_keeps_counters_but_drops_spans() {
+        let ex = Executor::new(1);
+        ex.set_timing_enabled(false);
+        ex.submit(Priority::Normal, || {});
+        ex.wait_idle();
+        assert!(ex.timing().tasks().is_empty());
+        assert_eq!(ex.stats().completed, 1);
+        assert_eq!(ex.stats().depth_hwm[1], 1);
     }
 
     #[test]

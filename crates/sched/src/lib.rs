@@ -36,7 +36,9 @@ pub mod strategy;
 pub mod task;
 
 pub use eager::{EagerExtractionPlan, EagerPlanner};
-pub use executor::{Executor, ExecutorStats, JobPanicked, RetryPolicy, TaskFailure, TaskHandle};
+pub use executor::{
+    queue_class, Executor, ExecutorStats, JobPanicked, RetryPolicy, TaskFailure, TaskHandle,
+};
 pub use fault::{FaultInjector, FaultPlan, FaultRule, FaultSite, InjectedFault};
 pub use jit::{JitTrainingPolicy, TrainingSchedule};
 pub use queue::PriorityTaskQueue;
