@@ -18,6 +18,7 @@ use std::time::Instant;
 use ve_al::{
     cluster_margin_selection, coreset_selection, hac_average_linkage, ClusterMarginConfig,
 };
+use ve_bench::emit::{Artifact, Value};
 use ve_ml::FeatureBlock;
 
 const DIM: usize = 64;
@@ -119,13 +120,6 @@ fn naive_hac(points: &FeatureBlock, num_clusters: usize) -> Vec<usize> {
     assignment
 }
 
-fn fmt_opt(v: Option<f64>) -> String {
-    match v {
-        Some(x) => format!("{x:.0}"),
-        None => "null".to_string(),
-    }
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let pools: &[usize] = if quick {
@@ -134,8 +128,8 @@ fn main() {
         &[1_000, 5_000, 20_000]
     };
 
-    let mut coreset_lines = Vec::new();
-    let mut cm_lines = Vec::new();
+    let mut coreset_fields = Vec::new();
+    let mut cm_fields = Vec::new();
     for &n in pools {
         let (feats, probs) = make_pool(n, 7);
         let labeled_idx: Vec<usize> = (0..20).collect();
@@ -150,8 +144,8 @@ fn main() {
             coreset_ns / 1e6,
             cm_ns / 1e6
         );
-        coreset_lines.push(format!("    \"{n}\": {coreset_ns:.0}"));
-        cm_lines.push(format!("    \"{n}\": {cm_ns:.0}"));
+        coreset_fields.push((n.to_string(), Value::f64(coreset_ns, 0)));
+        cm_fields.push((n.to_string(), Value::f64(cm_ns, 0)));
     }
 
     let (hac_points, _) = make_pool(HAC_N, 11);
@@ -175,37 +169,25 @@ fn main() {
         eprintln!("hac speedup: {s:.1}x");
     }
 
-    let json = format!(
-        r#"{{
-  "schema": "vocalexplore/bench_acquisition/v1",
-  "dim": {DIM},
-  "budget": {BUDGET},
-  "median_ns": {{
-  "coreset": {{
-{}
-  }},
-  "cluster_margin": {{
-{}
-  }},
-  "hac_lance_williams": {{
-    "{HAC_N}": {hac_ns:.0}
-  }},
-  "hac_seed_baseline": {{
-    "{HAC_N}": {}
-  }}
-  }},
-  "hac_target_clusters": {HAC_TARGET},
-  "hac_speedup_vs_seed": {}
-}}
-"#,
-        coreset_lines.join(",\n"),
-        cm_lines.join(",\n"),
-        fmt_opt(naive_ns),
-        match speedup {
-            Some(s) => format!("{s:.1}"),
-            None => "null".to_string(),
-        },
-    );
-    std::fs::write("BENCH_acquisition.json", &json).expect("write BENCH_acquisition.json");
-    println!("{json}");
+    Artifact::new("vocalexplore/bench_acquisition/v1", quick)
+        .field("dim", Value::usize(DIM))
+        .field("budget", Value::usize(BUDGET))
+        .field(
+            "median_ns",
+            Value::obj([
+                ("coreset", Value::obj(coreset_fields)),
+                ("cluster_margin", Value::obj(cm_fields)),
+                (
+                    "hac_lance_williams",
+                    Value::obj([(HAC_N.to_string(), Value::f64(hac_ns, 0))]),
+                ),
+                (
+                    "hac_seed_baseline",
+                    Value::obj([(HAC_N.to_string(), Value::opt_f64(naive_ns, 0))]),
+                ),
+            ]),
+        )
+        .field("hac_target_clusters", Value::usize(HAC_TARGET))
+        .field("hac_speedup_vs_seed", Value::opt_f64(speedup, 1))
+        .write("BENCH_acquisition.json");
 }

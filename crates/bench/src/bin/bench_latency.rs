@@ -16,6 +16,7 @@
 //! The binary asserts the Figure 6 ordering (Serial > VE-partial > VE-full)
 //! on the measured medians before writing the artifact.
 
+use ve_bench::emit::{Artifact, Value};
 use vocalexplore::prelude::*;
 
 struct StrategyRow {
@@ -131,29 +132,41 @@ fn main() {
         rows[2].measured_median_visible_secs,
     );
 
-    let body = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    \"{}\": {{\n      \"measured_median_visible_secs\": {:.3},\n      \"modeled_median_visible_secs\": {:.3},\n      \"total_measured_visible_secs\": {:.3},\n      \"total_spill_wall_secs\": {:.3},\n      \"tasks_submitted\": {},\n      \"tasks_failed\": {},\n      \"phases\": {{\"t_s_secs\": {:.3}, \"t_f_secs\": {:.3}, \"t_m_secs\": {:.3}, \"t_i_secs\": {:.3}}}\n    }}",
-                r.name,
-                r.measured_median_visible_secs,
-                r.modeled_median_visible_secs,
-                r.total_measured_visible_secs,
-                r.total_spill_wall_secs,
-                r.tasks_submitted,
-                r.tasks_failed,
-                r.phase_secs[0],
-                r.phase_secs[1],
-                r.phase_secs[2],
-                r.phase_secs[3],
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        "{{\n  \"schema\": \"vocalexplore/bench_latency/v2\",\n  \"quick\": {quick},\n  \"strategies\": {{\n{body}\n  }}\n}}\n"
-    );
-    std::fs::write("BENCH_latency.json", &json).expect("write BENCH_latency.json");
-    println!("{json}");
+    let strategies = Value::obj(rows.iter().map(|r| {
+        (
+            r.name,
+            Value::obj([
+                (
+                    "measured_median_visible_secs",
+                    Value::f64(r.measured_median_visible_secs, 3),
+                ),
+                (
+                    "modeled_median_visible_secs",
+                    Value::f64(r.modeled_median_visible_secs, 3),
+                ),
+                (
+                    "total_measured_visible_secs",
+                    Value::f64(r.total_measured_visible_secs, 3),
+                ),
+                (
+                    "total_spill_wall_secs",
+                    Value::f64(r.total_spill_wall_secs, 3),
+                ),
+                ("tasks_submitted", Value::u64(r.tasks_submitted)),
+                ("tasks_failed", Value::u64(r.tasks_failed)),
+                (
+                    "phases",
+                    Value::obj([
+                        ("t_s_secs", Value::f64(r.phase_secs[0], 3)),
+                        ("t_f_secs", Value::f64(r.phase_secs[1], 3)),
+                        ("t_m_secs", Value::f64(r.phase_secs[2], 3)),
+                        ("t_i_secs", Value::f64(r.phase_secs[3], 3)),
+                    ]),
+                ),
+            ]),
+        )
+    }));
+    Artifact::new("vocalexplore/bench_latency/v2", quick)
+        .field("strategies", strategies)
+        .write("BENCH_latency.json");
 }

@@ -1,8 +1,12 @@
-//! Observability benchmark: writes `BENCH_obs.json` and a Chrome trace
-//! (`BENCH_obs_trace.json`) loadable in Perfetto / `chrome://tracing`.
+//! Observability benchmark: writes `BENCH_obs.json`, a Chrome trace
+//! (`BENCH_obs_trace.json`) loadable in Perfetto / `chrome://tracing`, and —
+//! because the run absorbs an injected fault storm — a post-mortem
+//! diagnostic bundle (`BENCH_obs_bundle.json`).
 //!
-//! Runs one instrumented `VeFull` session on the async engine and exports
-//! what the two `ve-obs` planes saw:
+//! Runs one instrumented `VeFull` session on the async engine under a
+//! deterministic fault plan (transient training failures that force retries,
+//! plus a low rate of permanent row-inference faults that degrade served
+//! predictions) and exports what the two `ve-obs` planes saw:
 //!
 //! * **event plane** — deterministic event counts per kind (these are a pure
 //!   function of the config, so diffs in this section of the artifact are
@@ -10,47 +14,40 @@
 //! * **timing plane** — per-phase wall-clock histograms (p50/p99 in µs) for
 //!   the session-thread phases (`select`, `visible`, `think`, `spill`) and
 //!   the executor task kinds (`infer`, `train`, `eager`), plus the
-//!   executor's queue-wait and depth high-water counters.
+//!   executor's queue-wait and depth high-water counters;
+//! * **anomaly section** — phase outliers, queue-wait spikes, and retry
+//!   storms (`detect_session_anomalies`), which also land in the Chrome
+//!   trace as `instant` markers on the track where they happened.
 //!
 //! The Chrome trace is structurally validated before it is written —
-//! per-track monotonic timestamps, balanced `B`/`E` pairs, and at least one
-//! complete span for every required phase — so CI fails loudly instead of
-//! committing a trace Perfetto cannot load.
+//! per-track monotonic timestamps, balanced `B`/`E` pairs, at least one
+//! complete span for every required phase, and at least one anomaly instant
+//! — so CI fails loudly instead of committing a trace Perfetto cannot load.
+//! Whenever the session recorded any degradation (the fault plan guarantees
+//! it), the flight-recorder diagnostic bundle is emitted alongside.
 //!
 //! ```text
 //! cargo run --release -p ve-bench --bin bench_obs [-- --quick]
 //! ```
 
 use std::collections::BTreeMap;
-use ve_obs::{ChromeTrace, Histogram, PhaseTiming, TaskTiming};
+use ve_bench::emit::{Artifact, Value};
+use ve_obs::{
+    annotate_trace, AnomalyConfig, ChromeTrace, EventKind, Histogram, PhaseTiming, TaskTiming,
+};
+use ve_sched::fault::{FaultPlan, FaultRule, FaultSite};
 use vocalexplore::prelude::*;
-
-fn event_kind(e: &SessionEvent) -> &'static str {
-    match e {
-        SessionEvent::IndexIngest { .. } => "IndexIngest",
-        SessionEvent::CacheProbe { .. } => "CacheProbe",
-        SessionEvent::SelectionCompleted { .. } => "SelectionCompleted",
-        SessionEvent::PredictionsServed { .. } => "PredictionsServed",
-        SessionEvent::LabelAdded { .. } => "LabelAdded",
-        SessionEvent::Extracted { .. } => "Extracted",
-        SessionEvent::EvaluationCompleted { .. } => "EvaluationCompleted",
-        SessionEvent::TrainAttempt { .. } => "TrainAttempt",
-        SessionEvent::TrainCompleted { .. } => "TrainCompleted",
-        SessionEvent::Degraded(_) => "Degraded",
-    }
-}
 
 /// One per-phase row of the artifact: a histogram summarised to the fields
 /// worth diffing.
-fn histogram_json(h: &Histogram) -> String {
-    format!(
-        "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"min_us\": {}, \"max_us\": {}}}",
-        h.total(),
-        h.p50(),
-        h.p99(),
-        h.min(),
-        h.max()
-    )
+fn histogram_value(h: &Histogram) -> Value {
+    Value::obj([
+        ("count", Value::u64(h.total())),
+        ("p50_us", Value::u64(h.p50())),
+        ("p99_us", Value::u64(h.p99())),
+        ("min_us", Value::u64(h.min())),
+        ("max_us", Value::u64(h.max())),
+    ])
 }
 
 fn build_trace(timings: &[TaskTiming], phases: &[PhaseTiming]) -> ChromeTrace {
@@ -78,6 +75,15 @@ fn main() {
     } else {
         (0.15, 12, 1e-2)
     };
+    // The fault storm: training fails its first attempts often enough that
+    // some iteration re-runs training twice (a retry storm for the anomaly
+    // annotator), but always succeeds within the 3-attempt retry budget; a
+    // permanent row-inference rate high enough to exhaust the in-task retry
+    // loop (0.7³ ≈ 0.34 per row) degrades some served predictions so the
+    // diagnostic-bundle path runs on every benchmark invocation.
+    let faults = FaultPlan::new(23)
+        .with_rule(FaultSite::Training, FaultRule::transient(0.8, 2))
+        .with_rule(FaultSite::RowInference, FaultRule::permanent(0.7));
     let mut cfg = SessionConfig::new(DatasetName::Deer, scale, 42)
         .with_iterations(iterations)
         .with_eval_every(10_000);
@@ -89,7 +95,8 @@ fn main() {
         // acquisition-index ingest and probability-cache instrumentation.
         .with_sampling(SamplingPolicy::Fixed(AcquisitionKind::Coreset))
         .with_extra_candidates(5)
-        .with_time_scale(time_scale);
+        .with_time_scale(time_scale)
+        .with_fault_plan(faults);
     cfg.system.t_user = 4.0;
     cfg.system.train.epochs = 40;
     assert!(cfg.system.observability, "observability defaults on");
@@ -104,7 +111,7 @@ fn main() {
     // Event plane: deterministic counts per kind.
     let mut event_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
     for (_, e) in &outcome.events {
-        *event_counts.entry(event_kind(e)).or_insert(0) += 1;
+        *event_counts.entry(e.kind()).or_insert(0) += 1;
     }
 
     // Timing plane: per-phase histograms. Session-thread phases observe
@@ -126,51 +133,106 @@ fn main() {
         observe("queue_wait", t.queue_wait_us());
     }
 
-    // Chrome trace, validated before anything is written.
-    let trace = build_trace(&outcome.timings, &outcome.phases);
+    // Anomaly section: the fault plan makes at least a retry storm certain.
+    let anomaly_cfg = AnomalyConfig::default();
+    let anomalies = detect_session_anomalies(&outcome, &anomaly_cfg);
+    assert!(
+        !anomalies.is_empty(),
+        "the injected fault storm must surface at least one anomaly"
+    );
+    let mut anomaly_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for a in &anomalies {
+        *anomaly_counts.entry(a.kind.label()).or_insert(0) += 1;
+    }
+
+    // Chrome trace with anomaly instants, validated before it is written.
+    let mut trace = build_trace(&outcome.timings, &outcome.phases);
+    annotate_trace(&mut trace, &anomalies);
     let required = [
         "select", "visible", "think", "spill", "infer", "train", "eager",
     ];
     let stats = trace
         .validate(&required)
         .expect("trace must be structurally valid");
+    assert!(
+        stats.instants >= 1,
+        "annotated trace must carry the anomaly instants"
+    );
     eprintln!(
-        "bench_obs: {} events, {} tasks, {} phase spans; trace has {} spans on {} tracks",
+        "bench_obs: {} events, {} tasks, {} phase spans, {} degradations, {} anomalies; \
+         trace has {} spans + {} instants on {} tracks",
         outcome.events.len(),
         outcome.timings.len(),
         outcome.phases.len(),
+        outcome.degradations.len(),
+        anomalies.len(),
         stats.spans,
+        stats.instants,
         stats.tracks
     );
 
-    let events_body = event_counts
-        .iter()
-        .map(|(k, v)| format!("      \"{k}\": {v}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let phases_body = hists
-        .iter()
-        .map(|(k, h)| format!("    \"{k}\": {}", histogram_json(h)))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        "{{\n  \"schema\": \"vocalexplore/bench_obs/v1\",\n  \"quick\": {quick},\n  \
-         \"strategy\": \"ve_full\",\n  \"iterations\": {iterations},\n  \"events\": {{\n    \
-         \"total\": {},\n    \"by_kind\": {{\n{events_body}\n    }}\n  }},\n  \
-         \"phases\": {{\n{phases_body}\n  }},\n  \"executor\": {{\n    \
-         \"submitted\": {},\n    \"queue_wait_us\": {},\n    \"depth_hwm\": [{}, {}, {}]\n  }},\n  \
-         \"trace\": {{\"tracks\": {}, \"spans\": {}}}\n}}\n",
-        outcome.events.len(),
-        outcome.executor.submitted,
-        outcome.executor.queue_wait_us,
-        outcome.executor.depth_hwm[0],
-        outcome.executor.depth_hwm[1],
-        outcome.executor.depth_hwm[2],
-        stats.tracks,
-        stats.spans,
-    );
-    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    Artifact::new("vocalexplore/bench_obs/v1", quick)
+        .field("strategy", Value::str("ve_full"))
+        .field("iterations", Value::usize(iterations))
+        .field(
+            "events",
+            Value::obj([
+                ("total", Value::usize(outcome.events.len())),
+                (
+                    "by_kind",
+                    Value::obj(event_counts.iter().map(|(k, v)| (*k, Value::u64(*v)))),
+                ),
+            ]),
+        )
+        .field(
+            "phases",
+            Value::obj(hists.iter().map(|(k, h)| (k.clone(), histogram_value(h)))),
+        )
+        .field(
+            "executor",
+            Value::obj([
+                ("submitted", Value::u64(outcome.executor.submitted)),
+                ("retried", Value::u64(outcome.executor.retried)),
+                ("queue_wait_us", Value::u64(outcome.executor.queue_wait_us)),
+                (
+                    "depth_hwm",
+                    Value::Arr(
+                        outcome
+                            .executor
+                            .depth_hwm
+                            .iter()
+                            .map(|&d| Value::u64(d))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
+        .field("degradations", Value::usize(outcome.degradations.len()))
+        .field(
+            "anomalies",
+            Value::obj(anomaly_counts.iter().map(|(k, v)| (*k, Value::u64(*v)))),
+        )
+        .field(
+            "trace",
+            Value::obj([
+                ("tracks", Value::usize(stats.tracks)),
+                ("spans", Value::usize(stats.spans)),
+                ("instants", Value::usize(stats.instants)),
+            ]),
+        )
+        .write("BENCH_obs.json");
     std::fs::write("BENCH_obs_trace.json", trace.render_json())
         .expect("write BENCH_obs_trace.json");
-    println!("{json}");
+
+    // Post-mortem path: any degradation triggers the flight-recorder dump.
+    if !outcome.degradations.is_empty() {
+        let bundle = DiagnosticBundle::from_outcome(&outcome, 64, &anomaly_cfg);
+        std::fs::write("BENCH_obs_bundle.json", bundle.render_json())
+            .expect("write BENCH_obs_bundle.json");
+        eprintln!(
+            "bench_obs: wrote BENCH_obs_bundle.json ({} degradations, last {} events)",
+            outcome.degradations.len(),
+            bundle.last_events.len()
+        );
+    }
 }

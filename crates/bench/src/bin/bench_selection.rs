@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 use ve_al::AcquisitionKind;
+use ve_bench::emit::{Artifact, Value};
 use ve_features::{ExtractorId, FeatureSimulator};
 use ve_storage::{LabelRecord, LabelStore, StorageManager};
 use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle, TaskKind, TimeRange, VideoId};
@@ -172,13 +173,6 @@ fn run_session(fx: &Fixture, iterations: usize, incremental: bool) -> SessionRes
     }
 }
 
-fn fmt_opt(v: Option<f64>) -> String {
-    match v {
-        Some(x) => format!("{x:.0}"),
-        None => "null".to_string(),
-    }
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let pools: &[Pool] = if quick {
@@ -250,54 +244,43 @@ fn main() {
             .find(|(p, k, ..)| p == pool && k == kind)
             .cloned()
     };
-    let mut sections = Vec::new();
-    for pool in ["2000", "20000"] {
-        let mut kinds_json = Vec::new();
-        for kind in ["coreset", "cluster_margin"] {
-            let entry = lookup(pool, kind);
-            let windows = entry
-                .as_ref()
-                .map_or("null".to_string(), |e| e.2.to_string());
-            let speedup = entry.as_ref().map(|e| e.3 / e.4);
-            kinds_json.push(format!(
-                r#"      "{kind}": {{
-        "windows": {windows},
-        "from_scratch_mean_ns_per_iter": {},
-        "incremental_mean_ns_per_iter": {},
-        "from_scratch_median_ns_per_iter": {},
-        "incremental_median_ns_per_iter": {},
-        "speedup": {}
-      }}"#,
-                fmt_opt(entry.as_ref().map(|e| e.3)),
-                fmt_opt(entry.as_ref().map(|e| e.4)),
-                fmt_opt(entry.as_ref().map(|e| e.5)),
-                fmt_opt(entry.as_ref().map(|e| e.6)),
-                match speedup {
-                    Some(s) => format!("{s:.1}"),
-                    None => "null".to_string(),
-                },
-            ));
-        }
-        sections.push(format!(
-            "    \"{pool}\": {{\n{}\n    }}",
-            kinds_json.join(",\n")
-        ));
-    }
+    let pools_value = Value::obj(["2000", "20000"].map(|pool| {
+        (
+            pool,
+            Value::obj(["coreset", "cluster_margin"].map(|kind| {
+                let entry = lookup(pool, kind);
+                let e = entry.as_ref();
+                (
+                    kind,
+                    Value::obj([
+                        ("windows", e.map_or(Value::Null, |e| Value::usize(e.2))),
+                        (
+                            "from_scratch_mean_ns_per_iter",
+                            Value::opt_f64(e.map(|e| e.3), 0),
+                        ),
+                        (
+                            "incremental_mean_ns_per_iter",
+                            Value::opt_f64(e.map(|e| e.4), 0),
+                        ),
+                        (
+                            "from_scratch_median_ns_per_iter",
+                            Value::opt_f64(e.map(|e| e.5), 0),
+                        ),
+                        (
+                            "incremental_median_ns_per_iter",
+                            Value::opt_f64(e.map(|e| e.6), 0),
+                        ),
+                        ("speedup", Value::opt_f64(e.map(|e| e.3 / e.4), 1)),
+                    ]),
+                )
+            })),
+        )
+    }));
 
-    let json = format!(
-        r#"{{
-  "schema": "vocalexplore/bench_selection/v1",
-  "budget": {BUDGET},
-  "iterations": {iterations},
-  "seed_labels": {SEED_LABELS},
-  "quick": {quick},
-  "pools": {{
-{}
-  }}
-}}
-"#,
-        sections.join(",\n"),
-    );
-    std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
-    println!("{json}");
+    Artifact::new("vocalexplore/bench_selection/v1", quick)
+        .field("budget", Value::usize(BUDGET))
+        .field("iterations", Value::usize(iterations))
+        .field("seed_labels", Value::usize(SEED_LABELS))
+        .field("pools", pools_value)
+        .write("BENCH_selection.json");
 }

@@ -34,6 +34,7 @@
 
 use std::time::Instant;
 use ve_al::AcquisitionKind;
+use ve_bench::emit::{Artifact, Value};
 use ve_features::{ExtractorId, FeatureSimulator};
 use ve_storage::{LabelRecord, LabelStore, StorageManager};
 use ve_vidsim::{Dataset, DatasetName, GroundTruthOracle, Oracle, TaskKind, TimeRange, VideoId};
@@ -276,57 +277,60 @@ fn main() {
         );
     }
 
-    let variant_json = |s: &SessionResult| {
-        format!(
-            r#"{{
-      "mean_ns_per_iter": {:.0},
-      "early_window_median_ns": {:.0},
-      "late_window_median_ns": {:.0},
-      "growth": {:.2},
-      "cache_hit_rows": {},
-      "cache_miss_rows": {},
-      "cold_trains": {},
-      "warm_trains": {},
-      "holdout_accuracy": {:.4}
-    }}"#,
-            mean(&s.iter_ns),
-            window_median(&s.iter_ns, early_at),
-            window_median(&s.iter_ns, late_at),
-            window_median(&s.iter_ns, late_at) / window_median(&s.iter_ns, early_at),
-            s.cache.hit_rows,
-            s.cache.miss_rows,
-            s.training.cold_trains,
-            s.training.warm_trains,
-            s.accuracy,
-        )
+    let variant_value = |s: &SessionResult| {
+        Value::obj([
+            ("mean_ns_per_iter", Value::f64(mean(&s.iter_ns), 0)),
+            (
+                "early_window_median_ns",
+                Value::f64(window_median(&s.iter_ns, early_at), 0),
+            ),
+            (
+                "late_window_median_ns",
+                Value::f64(window_median(&s.iter_ns, late_at), 0),
+            ),
+            (
+                "growth",
+                Value::f64(
+                    window_median(&s.iter_ns, late_at) / window_median(&s.iter_ns, early_at),
+                    2,
+                ),
+            ),
+            ("cache_hit_rows", Value::u64(s.cache.hit_rows)),
+            ("cache_miss_rows", Value::u64(s.cache.miss_rows)),
+            ("cold_trains", Value::u64(s.training.cold_trains)),
+            ("warm_trains", Value::u64(s.training.warm_trains)),
+            ("holdout_accuracy", Value::f64(s.accuracy, 4)),
+        ])
     };
-    let json = format!(
-        r#"{{
-  "schema": "vocalexplore/bench_training/v1",
-  "quick": {quick},
-  "budget": {BUDGET},
-  "iterations": {iterations},
-  "seed_labels": {SEED_LABELS},
-  "train_cadence": {TRAIN_CADENCE},
-  "pool_windows": {pool_windows},
-  "determinism": {{
-    "prob_cache": "bit-identical (cached picks asserted equal to baseline)",
-    "warm_start": "warm-start/v1 tolerance (holdout accuracy within 0.15 of cold)"
-  }},
-  "cache_hit_rate": {hit_rate:.4},
-  "baseline_growth": {growth_base:.2},
-  "warm_cached_growth": {growth_warm:.2},
-  "variants": {{
-    "baseline_cold_nocache": {},
-    "cached_cold": {},
-    "warm_cached": {}
-  }}
-}}
-"#,
-        variant_json(&baseline),
-        variant_json(&cached),
-        variant_json(&warm),
-    );
-    std::fs::write("BENCH_training.json", &json).expect("write BENCH_training.json");
-    println!("{json}");
+    Artifact::new("vocalexplore/bench_training/v1", quick)
+        .field("budget", Value::usize(BUDGET))
+        .field("iterations", Value::usize(iterations))
+        .field("seed_labels", Value::usize(SEED_LABELS))
+        .field("train_cadence", Value::usize(TRAIN_CADENCE))
+        .field("pool_windows", Value::usize(pool_windows))
+        .field(
+            "determinism",
+            Value::obj([
+                (
+                    "prob_cache",
+                    Value::str("bit-identical (cached picks asserted equal to baseline)"),
+                ),
+                (
+                    "warm_start",
+                    Value::str("warm-start/v1 tolerance (holdout accuracy within 0.15 of cold)"),
+                ),
+            ]),
+        )
+        .field("cache_hit_rate", Value::f64(hit_rate, 4))
+        .field("baseline_growth", Value::f64(growth_base, 2))
+        .field("warm_cached_growth", Value::f64(growth_warm, 2))
+        .field(
+            "variants",
+            Value::obj([
+                ("baseline_cold_nocache", variant_value(&baseline)),
+                ("cached_cold", variant_value(&cached)),
+                ("warm_cached", variant_value(&warm)),
+            ]),
+        )
+        .write("BENCH_training.json");
 }

@@ -25,6 +25,8 @@
 use vocalexplore::prelude::*;
 use vocalexplore::{FeatureSelectionPolicy, SamplingPolicy, VocalExploreConfig};
 
+pub mod emit;
+
 /// Run-scale profile shared by the experiment binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct Profile {

@@ -215,6 +215,11 @@ pub struct VocalExploreConfig {
     /// reduces per-event cost to one relaxed atomic load. Degradations are
     /// recorded regardless — they are program state, not telemetry.
     pub observability: bool,
+    /// Flight-recorder bound on the event ledger: retain at most this many
+    /// droppable events (most recent wins; exact per-kind drop accounting).
+    /// `None` (the default) keeps the ledger unbounded. Degradations are
+    /// pinned and never evicted at any capacity.
+    pub recorder_capacity: Option<usize>,
 }
 
 impl VocalExploreConfig {
@@ -245,6 +250,7 @@ impl VocalExploreConfig {
             fault_plan: None,
             retry: RetryPolicy::new(3, 0.05, 2.0),
             observability: true,
+            recorder_capacity: None,
         }
     }
 
@@ -350,6 +356,15 @@ impl VocalExploreConfig {
     /// are bit-identical either way.
     pub fn with_observability(mut self, enabled: bool) -> Self {
         self.observability = enabled;
+        self
+    }
+
+    /// Bounds the event ledger to a flight-recorder ring of `capacity`
+    /// droppable events (`None` = unbounded, the default). Selection,
+    /// training, and degradation behavior are bit-identical either way —
+    /// only how much telemetry is retained changes.
+    pub fn with_recorder_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.recorder_capacity = capacity;
         self
     }
 
@@ -476,6 +491,14 @@ mod tests {
         assert!(cfg.observability, "sinks default on");
         let cfg = cfg.with_observability(false);
         assert!(!cfg.observability);
+    }
+
+    #[test]
+    fn recorder_capacity_defaults_unbounded_and_overrides() {
+        let cfg = VocalExploreConfig::new(DatasetName::Deer, 9, TaskKind::SingleLabel, 0);
+        assert_eq!(cfg.recorder_capacity, None, "unbounded by default");
+        let cfg = cfg.with_recorder_capacity(Some(256));
+        assert_eq!(cfg.recorder_capacity, Some(256));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod harness;
 pub mod model_manager;
 pub mod observability;
 pub mod prob_cache;
+pub mod report;
 pub mod session;
 pub mod system;
 
@@ -67,6 +68,7 @@ pub use harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner}
 pub use model_manager::{InferenceError, ModelManager, TrainError, TrainingStats};
 pub use observability::{Obs, ObsHandle, SessionEvent};
 pub use prob_cache::{ProbCacheStats, ProbabilityCache};
+pub use report::{detect_session_anomalies, retry_storms, DiagnosticBundle, SessionReport};
 pub use session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
 pub use system::VocalExplore;
 
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use crate::harness::{IterationRecord, SessionConfig, SessionOutcome, SessionRunner};
     pub use crate::observability::{Obs, ObsHandle, SessionEvent};
+    pub use crate::report::{detect_session_anomalies, DiagnosticBundle, SessionReport};
     pub use crate::session::{AsyncSessionOutcome, AsyncSessionRunner, MeasuredIteration};
     pub use crate::system::VocalExplore;
     pub use ve_al::AcquisitionKind;

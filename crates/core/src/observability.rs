@@ -35,7 +35,7 @@ use crate::degradation::Degradation;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use ve_features::ExtractorId;
-use ve_obs::{EventLedger, MetricsRegistry};
+use ve_obs::{EventKind, EventLedger, MetricsRegistry};
 use ve_vidsim::VideoId;
 
 /// One deterministic event. Variant order defines the canonical
@@ -97,6 +97,25 @@ pub enum SessionEvent {
     Degraded(Degradation),
 }
 
+impl EventKind for SessionEvent {
+    /// Stable kind names for drop accounting and the bench artifacts'
+    /// `events.by_kind` section — a pure function of the variant.
+    fn kind(&self) -> &'static str {
+        match self {
+            SessionEvent::IndexIngest { .. } => "index_ingest",
+            SessionEvent::CacheProbe { .. } => "cache_probe",
+            SessionEvent::SelectionCompleted { .. } => "selection_completed",
+            SessionEvent::PredictionsServed { .. } => "predictions_served",
+            SessionEvent::LabelAdded { .. } => "label_added",
+            SessionEvent::Extracted { .. } => "extracted",
+            SessionEvent::EvaluationCompleted { .. } => "evaluation_completed",
+            SessionEvent::TrainAttempt { .. } => "train_attempt",
+            SessionEvent::TrainCompleted { .. } => "train_completed",
+            SessionEvent::Degraded(_) => "degraded",
+        }
+    }
+}
+
 /// The observability recorder: deterministic event ledger + metrics
 /// registry + the current-iteration tag. One per [`crate::VocalExplore`],
 /// shared with the feature/model/AL managers via `Arc`.
@@ -113,9 +132,20 @@ impl Obs {
     /// A recorder with event/metrics sinks enabled (`enabled = false` keeps
     /// only the events that double as program state — degradations).
     pub fn new(enabled: bool) -> ObsHandle {
+        Self::with_recorder_capacity(enabled, None)
+    }
+
+    /// A recorder whose event ledger is bounded to the most recent
+    /// `capacity` droppable events (flight-recorder mode; `None` =
+    /// unbounded). Degradations are pinned and never evicted, so the
+    /// degradation view stays lossless at any capacity.
+    pub fn with_recorder_capacity(enabled: bool, capacity: Option<usize>) -> ObsHandle {
         let obs = Obs {
             current_iteration: AtomicU32::new(0),
-            ledger: EventLedger::new(),
+            ledger: match capacity {
+                Some(c) => EventLedger::with_capacity(c),
+                None => EventLedger::new(),
+            },
             metrics: MetricsRegistry::new(),
         };
         obs.ledger.set_enabled(enabled);
@@ -171,6 +201,12 @@ impl Obs {
     /// form sync/async and cross-parallelism equality is asserted on.
     pub fn canonical_events(&self) -> Vec<(u32, SessionEvent)> {
         self.ledger.canonical()
+    }
+
+    /// Exact per-kind counts of events evicted by the flight recorder
+    /// (empty in unbounded mode or while within capacity).
+    pub fn dropped_events(&self) -> Vec<(&'static str, u64)> {
+        self.ledger.dropped_by_kind()
     }
 
     /// Degradations recorded since the last drain, in recording order —
@@ -231,5 +267,21 @@ mod tests {
         assert!(obs.drain_degradations().is_empty());
         // Metrics counter untouched while disabled.
         assert_eq!(obs.metrics().counter("degradations"), 0);
+    }
+
+    #[test]
+    fn bounded_recorder_evicts_telemetry_but_pins_degradations() {
+        let obs = Obs::with_recorder_capacity(true, Some(2));
+        obs.set_iteration(1);
+        obs.record(SessionEvent::LabelAdded { vid: VideoId(1) });
+        obs.record(SessionEvent::LabelAdded { vid: VideoId(2) });
+        obs.record_degradation(Degradation::CandidatesLost {
+            iteration: 1,
+            videos: 2,
+        });
+        obs.record(SessionEvent::LabelAdded { vid: VideoId(3) }); // evicts vid 1
+        assert_eq!(obs.events().len(), 3);
+        assert_eq!(obs.dropped_events(), vec![("label_added", 1)]);
+        assert_eq!(obs.drain_degradations().len(), 1);
     }
 }

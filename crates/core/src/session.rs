@@ -107,6 +107,11 @@ pub struct AsyncSessionOutcome {
     /// configuration's) for the same inputs, up to the async engine's extra
     /// final-window training (see `crate::observability` module docs).
     pub events: Vec<(u32, SessionEvent)>,
+    /// Exact per-kind counts of events the flight recorder evicted (empty
+    /// unless `VocalExploreConfig::recorder_capacity` bounded the ledger
+    /// and the session outgrew it). For any run, `events` per-kind counts
+    /// plus these equal the unbounded ledger's counts.
+    pub dropped_events: Vec<(&'static str, u64)>,
     /// Timing plane: one span per executor task (queue wait, run time,
     /// worker), joined to the event plane by label/iteration. Wall-clock
     /// facts only — never part of determinism assertions. Empty when
@@ -485,6 +490,7 @@ impl AsyncSessionRunner {
             time_scale: scale,
             degradations,
             events: system.obs().canonical_events(),
+            dropped_events: system.obs().dropped_events(),
             timings: executor.timing().tasks(),
             phases: executor.timing().phases(),
         }

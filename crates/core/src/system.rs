@@ -61,7 +61,7 @@ impl VocalExplore {
             .fault_plan
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
-        let obs = Obs::new(config.observability);
+        let obs = Obs::with_recorder_capacity(config.observability, config.recorder_capacity);
         let mut fm = FeatureManager::new(simulator, storage.clone());
         fm.set_fault_injector(fault.clone(), config.retry);
         fm.set_obs(Arc::clone(&obs));

@@ -42,6 +42,7 @@ const LOCK_CLASSES: &[(&str, &str, &str)] = &[
     ("ve-obs", "ledger", "obs.ledger"),
     ("ve-obs", "timings", "obs.timings"),
     ("ve-obs", "series", "obs.metrics"),
+    ("ve-report", "findings", "report.findings"),
 ];
 
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];

@@ -278,6 +278,18 @@ fn wall_clock_silent_in_obs_timing_plane_file() {
 }
 
 #[test]
+fn wall_clock_fires_in_report_crate() {
+    // ve-report is a gate over *recorded* artifacts; it must never time
+    // anything itself, so it is deliberately absent from the exempt list.
+    let src = "pub fn stamp() -> u64 {\n\
+                   std::time::Instant::now().elapsed().as_micros() as u64\n\
+               }\n";
+    let report = run(&[("ve-report", "crates/report/src/lib.rs", src)]);
+    assert_eq!(active_rules(&report), ["wall-clock-in-logic"]);
+    assert!(report.active[0].message.contains("Instant::now"));
+}
+
+#[test]
 fn wall_clock_suppressible_with_reason() {
     let src = "fn timer() -> std::time::Instant {\n\
                    // ve-lint: allow(wall-clock-in-logic) -- measurement is the product here\n\
@@ -392,6 +404,22 @@ fn lock_discipline_fires_on_recursive_acquisition() {
     let report = run(&[("vocalexplore", "src/fx.rs", src)]);
     assert_eq!(active_rules(&report), ["lock-discipline"]);
     assert!(report.active[0].message.contains("re-acquisition"));
+}
+
+#[test]
+fn lock_discipline_knows_the_report_findings_lock() {
+    // The sentinel's findings log is registered as `report.findings`, so
+    // misuse inside ve-report is caught like any other tracked lock.
+    let src = "impl Sentinel {\n\
+                   fn bad(&self) {\n\
+                       let a = self.findings.lock();\n\
+                       let b = self.findings.lock();\n\
+                       use_both(a, b);\n\
+                   }\n\
+               }\n";
+    let report = run(&[("ve-report", "crates/report/src/lib.rs", src)]);
+    assert_eq!(active_rules(&report), ["lock-discipline"]);
+    assert!(report.active[0].message.contains("report.findings"));
 }
 
 #[test]

@@ -1,0 +1,295 @@
+//! Anomaly annotator over the timing plane: flags per-phase outliers and
+//! queue-wait spikes against session medians, and renders every finding as
+//! a Chrome-trace `instant` event so Perfetto shows *where* an iteration
+//! blew its budget.
+//!
+//! All thresholds use integer math only (factor × median comparisons over
+//! microsecond counts), so the *classification* of a given timing set is
+//! deterministic — only the timings themselves are wall-clock products.
+//! Retry storms are detected by the session layer from the deterministic
+//! event plane (attempt counts, not durations) and reported through the
+//! same [`Anomaly`] type.
+
+use crate::timing::{PhaseTiming, QueueClass, TaskTiming};
+use crate::trace::ChromeTrace;
+use std::collections::BTreeMap;
+
+/// Trace category shared by all anomaly instant events.
+pub const ANOMALY_CAT: &str = "anomaly";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyKind {
+    /// A session phase ran more than `factor ×` its session median.
+    PhaseOutlier,
+    /// A task waited in queue more than `factor ×` its class median.
+    QueueWaitSpike,
+    /// One iteration re-ran a task at least `retry_storm_attempts` times.
+    RetryStorm,
+}
+
+impl AnomalyKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyKind::PhaseOutlier => "phase_outlier",
+            AnomalyKind::QueueWaitSpike => "queue_wait_spike",
+            AnomalyKind::RetryStorm => "retry_storm",
+        }
+    }
+}
+
+/// One detected anomaly, carrying enough context to annotate a trace track
+/// and to print a report line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    pub kind: AnomalyKind,
+    /// What misbehaved: a phase name, task kind, or extractor label.
+    pub label: String,
+    pub iteration: u32,
+    /// Observed magnitude: µs for timing anomalies, attempts for storms.
+    pub observed: u64,
+    /// What it was compared against: the session median (µs) or the storm
+    /// threshold (attempts).
+    pub baseline: u64,
+    /// Trace track to annotate.
+    pub pid: u64,
+    pub tid: u64,
+    /// Where on the track the instant marker lands.
+    pub ts_us: u64,
+}
+
+impl Anomaly {
+    /// `observed / baseline` scaled by 100 (integer): 412 = 4.12×.
+    pub fn factor_x100(&self) -> u64 {
+        self.observed
+            .saturating_mul(100)
+            .checked_div(self.baseline)
+            .unwrap_or(0)
+    }
+
+    /// Event name for the trace and report, e.g. `anomaly:phase_outlier:select`.
+    pub fn name(&self) -> String {
+        format!("anomaly:{}:{}", self.kind.label(), self.label)
+    }
+}
+
+/// Detection thresholds. Defaults flag a phase or queue wait above 4× its
+/// session median (and above a 1 ms floor, so near-zero medians don't turn
+/// every tick into a spike), and call two re-runs in one iteration a storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyConfig {
+    /// Outlier when `observed > outlier_factor × median`.
+    pub outlier_factor: u64,
+    /// Timing observations below this floor (µs) are never anomalous.
+    pub min_observed_us: u64,
+    /// Re-run attempts within one iteration that constitute a storm.
+    pub retry_storm_attempts: u64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self {
+            outlier_factor: 4,
+            min_observed_us: 1000,
+            retry_storm_attempts: 2,
+        }
+    }
+}
+
+/// Lower-bias integer median of an unsorted slice (`v[len/2]` after sort);
+/// 0 for an empty slice.
+fn median(values: &mut [u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+/// Scans the timing plane for per-phase outliers and queue-wait spikes.
+/// Results are ordered by `(ts_us, kind, label)` so the annotated trace is
+/// stable for a given timing set.
+pub fn detect_timing_anomalies(
+    tasks: &[TaskTiming],
+    phases: &[PhaseTiming],
+    cfg: &AnomalyConfig,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+
+    // Per-phase medians across the session (select#1..select#N, …).
+    let mut by_phase: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for p in phases {
+        by_phase.entry(p.phase).or_default().push(p.dur_us);
+    }
+    let phase_median: BTreeMap<&'static str, u64> = by_phase
+        .into_iter()
+        .map(|(k, mut v)| (k, median(&mut v)))
+        .collect();
+    for p in phases {
+        let med = phase_median[p.phase];
+        if p.dur_us >= cfg.min_observed_us && p.dur_us > cfg.outlier_factor.saturating_mul(med) {
+            out.push(Anomaly {
+                kind: AnomalyKind::PhaseOutlier,
+                label: p.phase.to_string(),
+                iteration: p.iteration,
+                observed: p.dur_us,
+                baseline: med,
+                pid: 0,
+                tid: 0, // session track
+                ts_us: p.start_us,
+            });
+        }
+    }
+
+    // Queue-wait medians per queue class: Background tasks legitimately
+    // wait behind Critical work, so each class gets its own baseline.
+    let mut by_class: [Vec<u64>; QueueClass::ALL.len()] = Default::default();
+    for t in tasks {
+        by_class[t.class.index()].push(t.queue_wait_us());
+    }
+    let class_median: Vec<u64> = by_class.iter_mut().map(|v| median(v)).collect();
+    for t in tasks {
+        let wait = t.queue_wait_us();
+        let med = class_median[t.class.index()];
+        if wait >= cfg.min_observed_us && wait > cfg.outlier_factor.saturating_mul(med) {
+            out.push(Anomaly {
+                kind: AnomalyKind::QueueWaitSpike,
+                label: format!("{}:{}", t.class.label(), t.label.kind),
+                iteration: t.label.iteration,
+                observed: wait,
+                baseline: med,
+                pid: 0,
+                tid: 1 + t.worker as u64, // the worker track that ran it
+                ts_us: t.start_us,        // the moment the wait ended
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.ts_us, a.kind, &a.label, a.iteration).cmp(&(b.ts_us, b.kind, &b.label, b.iteration))
+    });
+    out
+}
+
+/// Drops one `instant` marker per anomaly onto its trace track.
+pub fn annotate_trace(trace: &mut ChromeTrace, anomalies: &[Anomaly]) {
+    for a in anomalies {
+        trace.add_instant(
+            &a.name(),
+            ANOMALY_CAT,
+            a.pid,
+            a.tid,
+            a.ts_us,
+            vec![
+                ("iteration".to_string(), a.iteration.to_string()),
+                ("observed".to_string(), a.observed.to_string()),
+                ("baseline".to_string(), a.baseline.to_string()),
+                ("factor_x100".to_string(), a.factor_x100().to_string()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TaskLabel;
+
+    fn phase(name: &'static str, iteration: u32, start_us: u64, dur_us: u64) -> PhaseTiming {
+        PhaseTiming {
+            phase: name,
+            iteration,
+            start_us,
+            dur_us,
+        }
+    }
+
+    fn task(kind: &'static str, iteration: u32, submit_us: u64, start_us: u64) -> TaskTiming {
+        TaskTiming {
+            span: 1,
+            label: TaskLabel::new(kind, iteration),
+            class: QueueClass::Normal,
+            worker: 2,
+            submit_us,
+            start_us,
+            end_us: start_us + 10,
+        }
+    }
+
+    #[test]
+    fn phase_outlier_beyond_factor_times_median_is_flagged() {
+        let phases: Vec<PhaseTiming> = (1..=5)
+            .map(|i| phase("select", i, i as u64 * 100_000, 5_000))
+            .chain([phase("select", 6, 600_000, 56_000)])
+            .collect();
+        let found = detect_timing_anomalies(&[], &phases, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        let a = &found[0];
+        assert_eq!(a.kind, AnomalyKind::PhaseOutlier);
+        assert_eq!(a.label, "select");
+        assert_eq!(a.iteration, 6);
+        assert_eq!(a.observed, 56_000);
+        assert_eq!(a.baseline, 5_000);
+        assert_eq!(a.factor_x100(), 1120);
+        assert_eq!((a.pid, a.tid), (0, 0));
+    }
+
+    #[test]
+    fn small_absolute_values_are_never_anomalous() {
+        // Median 2 µs, outlier 20 µs = 10× — but below the 1 ms floor.
+        let phases = vec![
+            phase("think", 1, 0, 2),
+            phase("think", 2, 10, 2),
+            phase("think", 3, 20, 20),
+        ];
+        let found = detect_timing_anomalies(&[], &phases, &AnomalyConfig::default());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn queue_wait_spike_uses_per_class_median_and_worker_track() {
+        let mut tasks: Vec<TaskTiming> = (0..5)
+            .map(|i| task("train", i, 100 * i as u64, 100 * i as u64 + 500))
+            .collect();
+        tasks.push(task("train", 5, 1000, 1000 + 9_000)); // 9 ms wait vs 500 µs median
+        let found = detect_timing_anomalies(&tasks, &[], &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        let a = &found[0];
+        assert_eq!(a.kind, AnomalyKind::QueueWaitSpike);
+        assert_eq!(a.label, "normal:train");
+        assert_eq!(a.observed, 9_000);
+        assert_eq!(a.baseline, 500);
+        assert_eq!(a.tid, 3); // worker 2
+    }
+
+    #[test]
+    fn annotate_trace_emits_validating_instants() {
+        let phases = vec![
+            phase("spill", 1, 0, 2_000),
+            phase("spill", 2, 10_000, 2_000),
+            phase("spill", 3, 20_000, 30_000),
+        ];
+        let found = detect_timing_anomalies(&[], &phases, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        let mut trace = ChromeTrace::new();
+        for p in &phases {
+            trace.add_phase(p);
+        }
+        annotate_trace(&mut trace, &found);
+        let stats = trace.validate(&["spill"]).unwrap();
+        assert_eq!(stats.instants, 1);
+        assert!(trace.render_json().contains("anomaly:phase_outlier:spill"));
+    }
+
+    #[test]
+    fn detection_is_a_pure_function_of_the_timing_set() {
+        let phases = vec![
+            phase("select", 1, 0, 5_000),
+            phase("select", 2, 10_000, 5_000),
+            phase("select", 3, 20_000, 56_000),
+        ];
+        let tasks = vec![task("infer", 1, 0, 40), task("infer", 2, 50, 5_100)];
+        let a = detect_timing_anomalies(&tasks, &phases, &AnomalyConfig::default());
+        let b = detect_timing_anomalies(&tasks, &phases, &AnomalyConfig::default());
+        assert_eq!(a, b);
+    }
+}

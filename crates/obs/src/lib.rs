@@ -17,15 +17,20 @@
 //!   allowed to read the clock (`ve-lint` enforces the split per file).
 //!
 //! On top of the planes sit a deterministic metrics registry ([`metrics`]:
-//! counters, gauges, fixed-bucket histograms with integer quantile math) and
-//! a Chrome `trace_event` exporter ([`trace`]) loadable in Perfetto.
+//! counters, gauges, fixed-bucket histograms with integer quantile math), a
+//! Chrome `trace_event` exporter ([`trace`]) loadable in Perfetto, and an
+//! anomaly annotator ([`anomaly`]) that flags phase outliers and queue-wait
+//! spikes against session medians (integer math only) as trace `instant`
+//! events.
 
+pub mod anomaly;
 pub mod event;
 pub mod metrics;
 pub mod timing;
 pub mod trace;
 
-pub use event::EventLedger;
+pub use anomaly::{annotate_trace, detect_timing_anomalies, Anomaly, AnomalyConfig, AnomalyKind};
+pub use event::{EventKind, EventLedger};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use timing::{PhaseTiming, QueueClass, TaskLabel, TaskTiming, TimingPlane};
 pub use trace::{ChromeTrace, TraceStats};

@@ -25,10 +25,21 @@ pub struct Histogram {
     max: u64,
 }
 
-/// Default latency bounds: powers of two from 1 µs to ~17 s. Fixed at
-/// compile time so every histogram in the repo buckets identically.
+/// Default latency bounds: log-linear buckets from 1 µs to ~17 s — each
+/// power-of-two octave is subdivided into 4 equal integer steps, so a
+/// reported quantile's upper bound is within 25% of the true value (vs 100%
+/// for pure powers of two). Fixed so every histogram buckets identically.
 pub fn default_latency_bounds() -> Vec<u64> {
-    (0..25).map(|i| 1u64 << i).collect()
+    let mut bounds = vec![1u64, 2, 3, 4];
+    let mut octave = 4u64;
+    while octave < 1 << 24 {
+        let step = octave / 4;
+        for k in 1..=4 {
+            bounds.push(octave + k * step);
+        }
+        octave *= 2;
+    }
+    bounds
 }
 
 impl Histogram {
@@ -285,5 +296,82 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn default_bounds_are_log_linear_and_strictly_increasing() {
+        let bounds = default_latency_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds.first().copied(), Some(1));
+        assert_eq!(bounds.last().copied(), Some(1 << 24));
+        // 4 subdivisions per octave: each bound is at most 1.25× the
+        // previous one (from 4 up), so a quantile's reported upper bound
+        // over-states the true value by at most 25%.
+        for w in bounds.windows(2) {
+            if w[0] >= 4 {
+                assert!(w[1] * 4 <= w[0] * 5, "gap too wide: {} -> {}", w[0], w[1]);
+            }
+        }
+        // The motivating case: a true ~5100 µs median must report within
+        // ~20%, not the old power-of-two 8192.
+        let mut h = Histogram::with_default_bounds();
+        for _ in 0..100 {
+            h.observe(5100);
+        }
+        assert_eq!(h.p50(), 5120);
+    }
+
+    #[test]
+    fn quantile_at_exact_bucket_boundary_reports_that_bound() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        // A value exactly on a bound belongs to that bucket (`v <= b`).
+        h.observe(10);
+        h.observe(100);
+        assert_eq!(h.quantile(1, 2), 10); // rank 1 of 2
+        assert_eq!(h.quantile(1, 1), 100); // rank 2 of 2
+    }
+
+    #[test]
+    fn all_overflow_quantiles_report_true_max_not_a_bound() {
+        let mut h = Histogram::new(vec![10, 100]);
+        h.observe(5000);
+        h.observe(7000);
+        // Every rank falls past the last bound: the overflow bucket must
+        // report the observed maximum, never a fabricated bound.
+        assert_eq!(h.p50(), 7000);
+        assert_eq!(h.p99(), 7000);
+        assert_eq!(h.quantile(1, 1), h.max());
+    }
+
+    #[test]
+    fn full_quantile_is_the_highest_nonempty_bucket_bound() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        // No overflow: quantile(1,1) is the upper bound of the highest
+        // non-empty bucket.
+        assert_eq!(h.quantile(1, 1), 1000);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn render_json_is_key_sorted_and_insertion_order_independent() {
+        let build = |names: &[&str]| {
+            let reg = MetricsRegistry::new();
+            for n in names {
+                reg.inc(n, 1);
+                reg.set_gauge(n, 2);
+                reg.observe(n, 3);
+            }
+            reg.snapshot().render_json()
+        };
+        let a = build(&["zeta", "alpha", "mid"]);
+        let b = build(&["mid", "zeta", "alpha"]);
+        assert_eq!(a, b, "rendering must not depend on insertion order");
+        let alpha = a.find("\"alpha\"").unwrap();
+        let mid = a.find("\"mid\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < mid && mid < zeta, "keys must render sorted");
     }
 }

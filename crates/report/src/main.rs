@@ -1,0 +1,113 @@
+//! CLI for the `ve-report` perf-regression gate. Exit status 0 = all
+//! contract rules hold; 1 = at least one violated (the report names the
+//! metric); 2 = usage/environment error (unreadable contract, malformed
+//! artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ve_report::{load_artifacts, parse_contract, Sentinel};
+
+const USAGE: &str = "\
+ve-report: perf-regression sentinel over BENCH_*.json artifacts
+
+USAGE:
+    ve-report [--check] [--fresh-dir PATH] [--baseline-dir PATH]
+              [--contract PATH] [--json]
+
+OPTIONS:
+    --check              evaluate the contract (default action)
+    --fresh-dir PATH     directory with the just-run bench artifacts
+                         (default: current directory)
+    --baseline-dir PATH  directory with the committed baseline artifacts
+                         (default: same as --fresh-dir, i.e. self-check)
+    --contract PATH      contract file (default: <fresh-dir>/BENCH_contract.json)
+    --json               machine-readable report on stdout
+    --help               this text
+";
+
+fn main() -> ExitCode {
+    let mut fresh_dir = PathBuf::from(".");
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut contract_path: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--json" => json = true,
+            "--fresh-dir" => match args.next() {
+                Some(p) => fresh_dir = PathBuf::from(p),
+                None => return usage_error("--fresh-dir needs a path"),
+            },
+            "--baseline-dir" => match args.next() {
+                Some(p) => baseline_dir = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline-dir needs a path"),
+            },
+            "--contract" => match args.next() {
+                Some(p) => contract_path = Some(PathBuf::from(p)),
+                None => return usage_error("--contract needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let baseline_dir = baseline_dir.unwrap_or_else(|| fresh_dir.clone());
+    let contract_path = contract_path.unwrap_or_else(|| fresh_dir.join("BENCH_contract.json"));
+
+    let contract_text = match std::fs::read_to_string(&contract_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ve-report: cannot read {}: {e}", contract_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let contract = match parse_contract(&contract_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ve-report: {}: {e}", contract_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let fresh = match load_artifacts(&fresh_dir, &contract) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ve-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = if baseline_dir == fresh_dir {
+        fresh.clone()
+    } else {
+        match load_artifacts(&baseline_dir, &contract) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("ve-report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = Sentinel::new().check(&contract, &fresh, &baseline);
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ve-report: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

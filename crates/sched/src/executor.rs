@@ -161,6 +161,34 @@ impl ExecutorStats {
     pub fn succeeded(&self) -> u64 {
         self.completed - self.failed
     }
+
+    /// The counters as `(name, value)` pairs in stable name order — the
+    /// export hook diagnostic bundles and bench artifacts serialize from,
+    /// so every consumer names the counters identically.
+    pub fn export_kv(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("completed", self.completed),
+            ("depth_hwm_background", self.depth_hwm[2]),
+            ("depth_hwm_critical", self.depth_hwm[0]),
+            ("depth_hwm_normal", self.depth_hwm[1]),
+            ("failed", self.failed),
+            ("gave_up", self.gave_up),
+            ("queue_wait_us", self.queue_wait_us),
+            ("retried", self.retried),
+            ("submitted", self.submitted),
+        ]
+    }
+
+    /// One-line JSON object over [`ExecutorStats::export_kv`] (hand-rolled;
+    /// no serde in this environment).
+    pub fn render_json(&self) -> String {
+        let body: Vec<String> = self
+            .export_kv()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
 }
 
 /// Error returned by [`TaskHandle::join`] when the job panicked.
@@ -1070,5 +1098,27 @@ mod tests {
         assert_eq!(policy.backoff_secs(2), 1.0);
         assert_eq!(policy.backoff_secs(3), 2.0);
         assert_eq!(RetryPolicy::none().backoff_secs(1), 0.0);
+    }
+
+    #[test]
+    fn stats_export_is_name_sorted_and_renders_json() {
+        let stats = ExecutorStats {
+            submitted: 9,
+            completed: 8,
+            failed: 1,
+            retried: 2,
+            gave_up: 1,
+            queue_wait_us: 1234,
+            depth_hwm: [3, 2, 1],
+        };
+        let kv = stats.export_kv();
+        let names: Vec<&str> = kv.iter().map(|(k, _)| *k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "export order must be stable name order");
+        let json = stats.render_json();
+        assert!(json.contains("\"submitted\": 9"), "{json}");
+        assert!(json.contains("\"depth_hwm_critical\": 3"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 }
